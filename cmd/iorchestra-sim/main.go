@@ -1,0 +1,154 @@
+// Command iorchestra-sim runs a single configurable scenario: a
+// population of VMs with one workload personality on one of the four
+// systems, printing latency and throughput results plus the IOrchestra
+// policy activity. It is the "drive the platform by hand" tool; use
+// cmd/experiments to regenerate the paper's figures.
+//
+//	iorchestra-sim -system iorchestra -workload fs -vms 8 -seconds 30
+//	iorchestra-sim -system baseline -workload ycsb1 -vms 2 -rate 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iorchestra"
+	"iorchestra/internal/apps"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "iorchestra", "baseline | sdc | dif | iorchestra")
+	wl := flag.String("workload", "fs", "fs | ws | vs | multistream | ycsb1 | ycsb2 | blast | cloud9")
+	vms := flag.Int("vms", 4, "number of VMs")
+	vcpus := flag.Int("vcpus", 2, "VCPUs (and GB of memory) per VM")
+	seconds := flag.Int("seconds", 30, "virtual seconds to simulate")
+	rate := flag.Float64("rate", 2000, "request rate for ycsb workloads (req/s)")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	var sys iorchestra.System
+	switch strings.ToLower(*system) {
+	case "baseline":
+		sys = iorchestra.SystemBaseline
+	case "sdc":
+		sys = iorchestra.SystemSDC
+	case "dif":
+		sys = iorchestra.SystemDIF
+	case "iorchestra":
+		sys = iorchestra.SystemIOrchestra
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(1)
+	}
+
+	p := iorchestra.NewPlatform(sys, *seed)
+	dur := sim.Duration(*seconds) * iorchestra.Second
+
+	type resultFn func() (*metrics.Histogram, float64) // latency, bytes
+	var results []resultFn
+
+	newVM := func() *iorchestra.VM {
+		return p.NewVM(*vcpus, *vcpus, guest.DiskConfig{
+			Name: "xvda",
+			CacheConfig: pagecache.Config{
+				TotalPages: (1 << 30) / pagecache.PageSize,
+			},
+		})
+	}
+
+	switch strings.ToLower(*wl) {
+	case "fs", "ws", "vs", "multistream":
+		for i := 0; i < *vms; i++ {
+			vm := newVM()
+			rng := p.Rng.Fork(fmt.Sprintf("wl%d", i))
+			var per workload.Personality
+			switch strings.ToLower(*wl) {
+			case "fs":
+				per = workload.NewFS(p.Kernel, vm.G, vm.G.Disks()[0], workload.FSConfig{Threads: *vcpus}, rng)
+			case "ws":
+				per = workload.NewWS(p.Kernel, vm.G, vm.G.Disks()[0], workload.WSConfig{Threads: *vcpus}, rng)
+			case "vs":
+				per = workload.NewVS(p.Kernel, vm.G, vm.G.Disks()[0], workload.VSConfig{Readers: *vcpus}, rng)
+			default:
+				per = workload.NewMultiStream(p.Kernel, vm.G, vm.G.Disks()[0], *vcpus, 1<<30, 1<<20, rng)
+			}
+			per.Start()
+			per2 := per
+			results = append(results, func() (*metrics.Histogram, float64) {
+				return per2.Ops().Latency, 0
+			})
+		}
+	case "ycsb1", "ycsb2":
+		cfg := workload.YCSB1()
+		if strings.ToLower(*wl) == "ycsb2" {
+			cfg = workload.YCSB2()
+		}
+		var nodes []*apps.CassandraNode
+		for i := 0; i < *vms; i++ {
+			vm := newVM()
+			nodes = append(nodes, apps.NewCassandraNode(p.Kernel, vm.G, vm.G.Disks()[0],
+				apps.CassandraConfig{}, p.Rng.Fork(fmt.Sprintf("node%d", i))))
+		}
+		cl := apps.NewCassandraCluster(p.Kernel, nodes, p.Rng.Fork("cl"))
+		run := workload.NewYCSBOpenLoop(p.Kernel, cfg, cl, *rate, 0, p.Rng.Fork("gen"))
+		run.Gen.Start()
+		results = append(results, func() (*metrics.Histogram, float64) {
+			return run.Rec.Latency, 0
+		})
+	case "blast":
+		var gs []*guest.Guest
+		for i := 0; i < *vms; i++ {
+			gs = append(gs, newVM().G)
+		}
+		job := apps.NewBlastJob(p.Kernel, gs, int64(*vms)*2<<30, true, p.Rng.Fork("blast"))
+		job.Start()
+		results = append(results, func() (*metrics.Histogram, float64) {
+			return job.ChunkLatency(), 0
+		})
+	case "cloud9":
+		for i := 0; i < *vms; i++ {
+			vm := newVM()
+			cb := workload.NewCPUBound(p.Kernel, vm.G, p.Rng.Fork(fmt.Sprintf("c9-%d", i)))
+			cb.Start()
+			cb2 := cb
+			results = append(results, func() (*metrics.Histogram, float64) {
+				return cb2.Ops().Latency, 0
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system=%v workload=%s vms=%d vcpus=%d duration=%ds seed=%d\n",
+		sys, *wl, *vms, *vcpus, *seconds, *seed)
+	p.RunFor(dur)
+
+	merged := metrics.NewHistogram()
+	for _, fn := range results {
+		h, _ := fn()
+		merged.Merge(h)
+	}
+	fmt.Printf("ops=%d\n", merged.Count())
+	fmt.Printf("latency: mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		merged.Mean(), merged.Percentile(50), merged.Percentile(99),
+		merged.Percentile(99.9), merged.Max())
+	dev := p.Host.Device()
+	fmt.Printf("device: bw=%.1f MB/s busy=%.0f%%\n",
+		dev.BandwidthBps(p.Kernel.Now())/1e6, dev.UtilFraction(p.Kernel.Now())*100)
+	fmt.Printf("host CPU utilization: %.0f%%\n", p.Host.CPUUtilization(p.Kernel.Now())*100)
+	if p.Manager != nil {
+		fmt.Printf("iorchestra: %d flush notices, %d vetoes, %d confirms, %d relieves, %d cosched runs\n",
+			p.Manager.FlushNotices(), p.Manager.Vetoes(), p.Manager.Confirms(),
+			p.Manager.Relieves(), p.Manager.CoschedRuns())
+	}
+	r, w, n := p.Host.Store().Stats()
+	fmt.Printf("system store: %d reads, %d writes, %d notifications\n", r, w, n)
+}

@@ -1,0 +1,59 @@
+// Command bursty reproduces the Sec. 5.6 scenario interactively: YCSB1
+// against a two-node Cassandra store under skewed inter-arrival times
+// (synchronized bursts at ten times the average rate), comparing all four
+// systems at one load level.
+//
+//	go run ./examples/bursty
+package main
+
+import (
+	"fmt"
+
+	"iorchestra"
+	"iorchestra/internal/apps"
+	"iorchestra/internal/core"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/workload"
+)
+
+func main() {
+	const (
+		rate  = 600 // average req/s
+		burst = 100 * iorchestra.Millisecond
+	)
+	fmt.Printf("bursty YCSB1: %d req/s average, 10x bursts of %v every 500 ms, 30 s\n\n", rate, burst)
+	fmt.Printf("%-12s %10s %10s %10s\n", "system", "mean(us)", "p99(us)", "p99.9(us)")
+
+	for _, sys := range iorchestra.Systems() {
+		p := iorchestra.NewPlatform(sys, 42,
+			iorchestra.WithManagerConfig(core.ManagerConfig{
+				MinFlushBytes: 24 << 20,
+				FlushCooldown: iorchestra.Second,
+			}))
+		var nodes []*apps.CassandraNode
+		for i := 0; i < 2; i++ {
+			vm := p.NewVM(2, 4, guest.DiskConfig{
+				Name: "xvda",
+				CacheConfig: pagecache.Config{
+					TotalPages:      (128 << 20) / pagecache.PageSize,
+					DirtyRatio:      0.6,
+					BackgroundRatio: 0.35,
+				},
+			})
+			nodes = append(nodes, apps.NewCassandraNode(p.Kernel, vm.G, vm.G.Disks()[0],
+				apps.CassandraConfig{}, p.Rng.Fork(fmt.Sprintf("node%d", i))))
+		}
+		cl := apps.NewCassandraCluster(p.Kernel, nodes, p.Rng.Fork("cl"))
+		run := workload.NewYCSBBursty(p.Kernel, workload.YCSB1(), cl,
+			rate, burst, 500*iorchestra.Millisecond, 0, p.Rng.Fork("gen"))
+		run.Gen.Start()
+		p.RunFor(30 * iorchestra.Second)
+		h := run.Rec.Latency
+		fmt.Printf("%-12s %10.0f %10.0f %10.0f\n", sys,
+			h.Mean().Microseconds(), h.Percentile(99).Microseconds(),
+			h.Percentile(99.9).Microseconds())
+	}
+	fmt.Println("\nThe baseline's tail blows past a millisecond once bursts collide")
+	fmt.Println("with uncoordinated flushing; IOrchestra keeps the tail flat.")
+}

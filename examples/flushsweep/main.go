@@ -1,0 +1,69 @@
+// Command flushsweep demonstrates the cross-domain flush policy (Sec. 5.3,
+// Fig. 8): a population of write-bursting fileserver VMs on one host, with
+// and without IOrchestra's Algorithm 1, sweeping the VM count. It prints
+// accepted write throughput and the policy's activity counters.
+//
+//	go run ./examples/flushsweep
+package main
+
+import (
+	"fmt"
+
+	"iorchestra"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/workload"
+)
+
+func run(sys iorchestra.System, vms int) (mbps float64, notices uint64) {
+	p := iorchestra.NewPlatform(sys, 42,
+		iorchestra.WithPolicies(iorchestra.Policies{Flush: true}))
+	var gens []*workload.FS
+	for i := 0; i < vms; i++ {
+		rt := p.NewVM(1, 1, guest.DiskConfig{
+			Name: "xvda",
+			CacheConfig: pagecache.Config{
+				TotalPages:      (1 << 30) / pagecache.PageSize,
+				DirtyRatio:      0.2,
+				BackgroundRatio: 0.1,
+				WritebackWindow: 64,
+			},
+		})
+		fs := workload.NewFS(p.Kernel, rt.G, rt.G.Disks()[0], workload.FSConfig{
+			Threads:      2,
+			MeanFileSize: 1 << 20,
+			Think:        6 * iorchestra.Millisecond,
+			WriteFrac:    0.8, AppendFrac: 0.1, ReadFrac: 0.05,
+			BurstOn:  1500 * iorchestra.Millisecond,
+			BurstOff: 3500 * iorchestra.Millisecond,
+		}, p.Rng.Fork(fmt.Sprintf("fs%d", i)))
+		gens = append(gens, fs)
+	}
+	for _, g := range gens {
+		g.Start()
+	}
+	const dur = 30 * iorchestra.Second
+	p.RunFor(dur)
+	var total float64
+	for _, g := range gens {
+		total += g.WrittenBytes()
+	}
+	if p.Manager != nil {
+		notices = p.Manager.FlushNotices()
+	}
+	return total / dur.Seconds() / 1e6, notices
+}
+
+func main() {
+	fmt.Println("cross-domain flush control: bursty fileserver VMs, 30 s per point")
+	fmt.Printf("%4s %18s %18s %12s %14s\n", "VMs", "baseline (MB/s)", "IOrchestra (MB/s)", "gain", "flush notices")
+	for _, vms := range []int{2, 6, 10, 14, 18} {
+		base, _ := run(iorchestra.SystemBaseline, vms)
+		io, notices := run(iorchestra.SystemIOrchestra, vms)
+		fmt.Printf("%4d %18.1f %18.1f %11.1f%% %14d\n",
+			vms, base, io, (io-base)/base*100, notices)
+	}
+	fmt.Println("\nThe management module tells the guest with the most dirty pages to")
+	fmt.Println("sync() whenever the array is quiet (Algorithm 1); pre-cleaned caches")
+	fmt.Println("absorb the next write burst at memory speed instead of blocking.")
+}

@@ -1,0 +1,289 @@
+// Package apps models the distributed applications of the paper's
+// evaluation on top of guest VMs: a Cassandra-style key-value store
+// (driven by YCSB), the three-tier Olio social-events application (driven
+// by CloudStone-style clients), and mpiBLAST scan jobs.
+package apps
+
+import (
+	"iorchestra/internal/guest"
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// NetLatency is the one-way inter-VM network latency (same rack).
+const NetLatency = 100 * sim.Microsecond
+
+// CassandraConfig tunes the node model.
+type CassandraConfig struct {
+	// ReadCPUTime is coordinator+row-materialization compute per read.
+	ReadCPUTime sim.Duration
+	// WriteCPUTime is memtable-insert compute per update.
+	WriteCPUTime sim.Duration
+	// RowBytes is the on-disk row size read per miss (default 8 KiB).
+	RowBytes int64
+	// CommitBytes is the commitlog append per update (default 4 KiB).
+	CommitBytes int64
+	// RowCacheHit is the fraction of reads served from the row cache.
+	RowCacheHit float64
+	// TwoSeekFrac reads hit two SSTables instead of one.
+	TwoSeekFrac float64
+	// MemtableBytes triggers a memtable flush (a large buffered
+	// sequential SSTable write) once this many update bytes accumulate
+	// (default 32 MiB). Zero keeps the default; negative disables.
+	MemtableBytes int64
+	// CompactEvery runs a compaction after this many SSTable flushes:
+	// read CompactEvery×MemtableBytes sequentially, write the same amount
+	// back (default 4). Negative disables.
+	CompactEvery int
+	// CompactChunk paces compaction I/O (default 2 MiB).
+	CompactChunk int64
+}
+
+func (c *CassandraConfig) fillDefaults() {
+	if c.ReadCPUTime <= 0 {
+		// Row materialization, bloom filters, JVM overheads: the real
+		// read path costs on the order of 100 µs of CPU.
+		c.ReadCPUTime = 220 * sim.Microsecond
+	}
+	if c.WriteCPUTime <= 0 {
+		c.WriteCPUTime = 120 * sim.Microsecond
+	}
+	if c.RowBytes <= 0 {
+		c.RowBytes = 8 << 10
+	}
+	if c.CommitBytes <= 0 {
+		c.CommitBytes = 8 << 10
+	}
+	if c.RowCacheHit <= 0 {
+		c.RowCacheHit = 0.30
+	}
+	if c.TwoSeekFrac <= 0 {
+		c.TwoSeekFrac = 0.25
+	}
+	if c.MemtableBytes == 0 {
+		c.MemtableBytes = 8 << 20
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 4
+	}
+	if c.CompactChunk <= 0 {
+		c.CompactChunk = 1 << 20
+	}
+}
+
+// CassandraNode models one data node: reads hit the row cache or one/two
+// SSTable seeks; updates append to the commitlog (buffered, periodic
+// sync — the write-buffering that makes YCSB1 flush-sensitive) and insert
+// into the memtable. Memtable flush pressure emerges from the page cache.
+type CassandraNode struct {
+	k   *sim.Kernel
+	g   *guest.Guest
+	d   *guest.VDisk
+	cfg CassandraConfig
+	rng *stats.Stream
+	// procs is the request-stage pool (concurrent_reads/writes style);
+	// ops round-robin across it so one slow op does not serialize the node.
+	procs []*guest.Process
+	pi    int
+
+	readLat  *metrics.Histogram
+	writeLat *metrics.Histogram
+
+	// Background write machinery: memtable bytes since the last flush,
+	// SSTable count since the last compaction, and a dedicated flush
+	// process (Cassandra's flush-writer/compactor threads).
+	memtable   int64
+	sstables   int
+	bg         *guest.Process
+	compacting bool
+	flushes    uint64
+	compacts   uint64
+}
+
+// NewCassandraNode builds a node on guest g's disk d.
+func NewCassandraNode(k *sim.Kernel, g *guest.Guest, d *guest.VDisk, cfg CassandraConfig, rng *stats.Stream) *CassandraNode {
+	cfg.fillDefaults()
+	n := &CassandraNode{
+		k: k, g: g, d: d, cfg: cfg, rng: rng,
+		bg:       g.NewProcess(1),
+		readLat:  metrics.NewHistogram(),
+		writeLat: metrics.NewHistogram(),
+	}
+	for i := 0; i < 4; i++ {
+		n.procs = append(n.procs, g.NewProcess(1))
+	}
+	return n
+}
+
+func (n *CassandraNode) next() *guest.Process {
+	n.pi++
+	return n.procs[n.pi%len(n.procs)]
+}
+
+// Flushes and Compactions report background-write activity.
+func (n *CassandraNode) Flushes() uint64 { return n.flushes }
+
+// Compactions reports completed compaction rounds.
+func (n *CassandraNode) Compactions() uint64 { return n.compacts }
+
+// ReadLatency and WriteLatency expose node-local service histograms.
+func (n *CassandraNode) ReadLatency() *metrics.Histogram { return n.readLat }
+
+// WriteLatency exposes the node-local update histogram.
+func (n *CassandraNode) WriteLatency() *metrics.Histogram { return n.writeLat }
+
+// Read implements the node-local read path.
+func (n *CassandraNode) Read(key int, done func()) {
+	start := n.k.Now()
+	finish := func() {
+		n.readLat.Record(n.k.Now() - start)
+		if done != nil {
+			done()
+		}
+	}
+	p := n.next()
+	p.Compute(n.cfg.ReadCPUTime, func() {
+		if n.rng.Float64() < n.cfg.RowCacheHit {
+			finish()
+			return
+		}
+		n.d.Read(p, n.cfg.RowBytes, false, func() {
+			if n.rng.Float64() < n.cfg.TwoSeekFrac {
+				n.d.Read(p, n.cfg.RowBytes, false, finish)
+			} else {
+				finish()
+			}
+		})
+	})
+}
+
+// Update implements the node-local write path: commitlog append plus
+// memtable insert; crossing the memtable threshold schedules an SSTable
+// flush, and every CompactEvery flushes schedule a compaction — the
+// write-amplification that makes YCSB1 flush-coordination-sensitive.
+func (n *CassandraNode) Update(key int, done func()) {
+	start := n.k.Now()
+	p := n.next()
+	p.Compute(n.cfg.WriteCPUTime, func() {
+		n.d.Write(p, n.cfg.CommitBytes, func() {
+			n.writeLat.Record(n.k.Now() - start)
+			if done != nil {
+				done()
+			}
+		})
+		if n.cfg.MemtableBytes > 0 {
+			n.memtable += n.cfg.CommitBytes
+			if n.memtable >= n.cfg.MemtableBytes {
+				n.memtable = 0
+				n.flushSSTable()
+			}
+		}
+	})
+}
+
+// flushSSTable writes one memtable's worth of data as a buffered
+// sequential SSTable, in paced chunks on the background process.
+func (n *CassandraNode) flushSSTable() {
+	n.flushes++
+	remaining := n.cfg.MemtableBytes
+	var step func()
+	step = func() {
+		if remaining <= 0 {
+			n.sstables++
+			if n.cfg.CompactEvery > 0 && n.sstables >= n.cfg.CompactEvery && !n.compacting {
+				n.sstables = 0
+				n.compact()
+			}
+			return
+		}
+		chunk := n.cfg.CompactChunk
+		if remaining < chunk {
+			chunk = remaining
+		}
+		remaining -= chunk
+		n.d.Write(n.bg, chunk, step)
+	}
+	step()
+}
+
+// compact streams CompactEvery SSTables through the node: sequential
+// reads followed by an equal volume of buffered sequential writes.
+func (n *CassandraNode) compact() {
+	n.compacting = true
+	total := int64(n.cfg.CompactEvery) * n.cfg.MemtableBytes
+	readLeft, writeLeft := total, total
+	var step func()
+	step = func() {
+		switch {
+		case readLeft > 0:
+			chunk := n.cfg.CompactChunk
+			if readLeft < chunk {
+				chunk = readLeft
+			}
+			readLeft -= chunk
+			n.d.Read(n.bg, chunk, true, step)
+		case writeLeft > 0:
+			chunk := n.cfg.CompactChunk
+			if writeLeft < chunk {
+				chunk = writeLeft
+			}
+			writeLeft -= chunk
+			n.d.Write(n.bg, chunk, step)
+		default:
+			n.compacting = false
+			n.compacts++
+		}
+	}
+	step()
+}
+
+// CassandraCluster shards keys across nodes and adds inter-node network
+// latency for remote coordination; it implements workload.KV.
+type CassandraCluster struct {
+	k     *sim.Kernel
+	nodes []*CassandraNode
+	rng   *stats.Stream
+}
+
+// NewCassandraCluster groups nodes into one logical store.
+func NewCassandraCluster(k *sim.Kernel, nodes []*CassandraNode, rng *stats.Stream) *CassandraCluster {
+	if len(nodes) == 0 {
+		panic("apps: empty cassandra cluster")
+	}
+	return &CassandraCluster{k: k, nodes: nodes, rng: rng}
+}
+
+// Nodes exposes the members.
+func (c *CassandraCluster) Nodes() []*CassandraNode { return c.nodes }
+
+// route picks the replica for a key and wraps done with network RTT when
+// the coordinator (random) is not the replica.
+func (c *CassandraCluster) route(key int, op func(n *CassandraNode, done func()), done func()) {
+	replica := c.nodes[key%len(c.nodes)]
+	if len(c.nodes) == 1 {
+		op(replica, done)
+		return
+	}
+	coordinator := c.rng.Intn(len(c.nodes))
+	if c.nodes[coordinator] == replica {
+		op(replica, done)
+		return
+	}
+	// Forward hop, remote service, reply hop.
+	c.k.After(NetLatency, func() {
+		op(replica, func() {
+			c.k.After(NetLatency, done)
+		})
+	})
+}
+
+// Read implements workload.KV.
+func (c *CassandraCluster) Read(key int, done func()) {
+	c.route(key, func(n *CassandraNode, d func()) { n.Read(key, d) }, done)
+}
+
+// Update implements workload.KV.
+func (c *CassandraCluster) Update(key int, done func()) {
+	c.route(key, func(n *CassandraNode, d func()) { n.Update(key, d) }, done)
+}

@@ -1,0 +1,214 @@
+package apps
+
+import (
+	"iorchestra/internal/guest"
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// OlioConfig tunes the three-tier social-events application (Sec. 5.1:
+// Apache+PHP web VM, MySQL database VM, file-server VM, each 2 VCPU /
+// 4 GB; ~40 GB dataset for 500 users).
+type OlioConfig struct {
+	// PHPMean is the mean web-tier render time per request.
+	PHPMean sim.Duration
+	// QueryCPU is database compute per query.
+	QueryCPU sim.Duration
+	// QueriesMin/Max bound queries per request (uniform).
+	QueriesMin, QueriesMax int
+	// BufferMiss is the probability a query misses the buffer pool and
+	// reads a page from disk.
+	BufferMiss float64
+	// DBPage is the InnoDB page size (default 16 KiB).
+	DBPage int64
+	// StaticBytes is the file-server object size per request.
+	StaticBytes int64
+	// StaticFrac is the fraction of requests fetching static content.
+	StaticFrac float64
+	// WriteFrac is the fraction of requests that add events (DB write +
+	// file upload).
+	WriteFrac float64
+	// UploadBytes is the file-server upload size on writes.
+	UploadBytes int64
+}
+
+func (c *OlioConfig) fillDefaults() {
+	if c.PHPMean <= 0 {
+		c.PHPMean = 4 * sim.Millisecond
+	}
+	if c.QueryCPU <= 0 {
+		c.QueryCPU = 300 * sim.Microsecond
+	}
+	if c.QueriesMin <= 0 {
+		c.QueriesMin = 1
+	}
+	if c.QueriesMax < c.QueriesMin {
+		c.QueriesMax = c.QueriesMin + 2
+	}
+	if c.BufferMiss <= 0 {
+		c.BufferMiss = 0.6
+	}
+	if c.DBPage <= 0 {
+		c.DBPage = 16 << 10
+	}
+	if c.StaticBytes <= 0 {
+		c.StaticBytes = 64 << 10
+	}
+	if c.StaticFrac <= 0 {
+		c.StaticFrac = 0.8
+	}
+	if c.WriteFrac <= 0 {
+		c.WriteFrac = 0.1
+	}
+	if c.UploadBytes <= 0 {
+		c.UploadBytes = 128 << 10
+	}
+}
+
+// Olio is the assembled three-tier application.
+type Olio struct {
+	k   *sim.Kernel
+	cfg OlioConfig
+	rng *stats.Stream
+
+	web, db, fs *guest.Guest
+	webD        *guest.VDisk
+	dbD         *guest.VDisk
+	fsD         *guest.VDisk
+
+	// Worker pools: Apache/PHP processes, MySQL threads, file-server
+	// daemons. Requests round-robin across them so one slow request does
+	// not serialize the tier.
+	webP       []*guest.Process
+	dbP        []*guest.Process
+	fsP        []*guest.Process
+	wi, di, fi int
+
+	// Per-tier latency (Fig. 6: web = end-to-end, db = query, fs = op).
+	webLat *metrics.Histogram
+	dbLat  *metrics.Histogram
+	fsLat  *metrics.Histogram
+}
+
+// NewOlio wires the application onto three guests; each guest's first
+// disk carries that tier's data.
+func NewOlio(k *sim.Kernel, web, db, fs *guest.Guest, cfg OlioConfig, rng *stats.Stream) *Olio {
+	cfg.fillDefaults()
+	o := &Olio{
+		k: k, cfg: cfg, rng: rng,
+		web: web, db: db, fs: fs,
+		webD: web.Disks()[0], dbD: db.Disks()[0], fsD: fs.Disks()[0],
+		webLat: metrics.NewHistogram(),
+		dbLat:  metrics.NewHistogram(),
+		fsLat:  metrics.NewHistogram(),
+	}
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		o.webP = append(o.webP, web.NewProcess(1))
+		o.dbP = append(o.dbP, db.NewProcess(1))
+		o.fsP = append(o.fsP, fs.NewProcess(1))
+	}
+	return o
+}
+
+func (o *Olio) nextWeb() *guest.Process { o.wi++; return o.webP[o.wi%len(o.webP)] }
+func (o *Olio) nextDB() *guest.Process  { o.di++; return o.dbP[o.di%len(o.dbP)] }
+func (o *Olio) nextFS() *guest.Process  { o.fi++; return o.fsP[o.fi%len(o.fsP)] }
+
+// WebLatency, DBLatency, FSLatency expose per-tier histograms (Fig. 6).
+func (o *Olio) WebLatency() *metrics.Histogram { return o.webLat }
+
+// DBLatency exposes per-query latency at the database VM.
+func (o *Olio) DBLatency() *metrics.Histogram { return o.dbLat }
+
+// FSLatency exposes per-operation latency at the file-server VM.
+func (o *Olio) FSLatency() *metrics.Histogram { return o.fsLat }
+
+// Request serves one page request: PHP render on the web VM, a batch of
+// database queries, optional static fetch and optional event write; done
+// fires when the page is complete. This is the Operation a ClosedLoop of
+// CloudStone clients drives.
+func (o *Olio) Request(done func()) {
+	start := o.k.Now()
+	finish := func() {
+		o.webLat.Record(o.k.Now() - start)
+		if done != nil {
+			done()
+		}
+	}
+	render := sim.DurationOf(o.rng.Exponential(1 / o.cfg.PHPMean.Seconds()))
+	o.nextWeb().Compute(render, func() {
+		nq := o.cfg.QueriesMin + o.rng.Intn(o.cfg.QueriesMax-o.cfg.QueriesMin+1)
+		o.queries(nq, func() {
+			write := o.rng.Float64() < o.cfg.WriteFrac
+			if write {
+				o.eventWrite(func() { o.static(finish) })
+				return
+			}
+			o.static(finish)
+		})
+	})
+}
+
+// queries runs n database queries sequentially (PHP's synchronous driver).
+func (o *Olio) queries(n int, done func()) {
+	if n <= 0 {
+		done()
+		return
+	}
+	qStart := sim.Time(0)
+	o.k.After(NetLatency, func() {
+		qStart = o.k.Now()
+		p := o.nextDB()
+		p.Compute(o.cfg.QueryCPU, func() {
+			after := func() {
+				o.dbLat.Record(o.k.Now() - qStart)
+				o.k.After(NetLatency, func() { o.queries(n-1, done) })
+			}
+			if o.rng.Float64() < o.cfg.BufferMiss {
+				o.dbD.Read(p, o.cfg.DBPage, false, after)
+			} else {
+				after()
+			}
+		})
+	})
+}
+
+// static fetches file-server content for most requests.
+func (o *Olio) static(done func()) {
+	if o.rng.Float64() >= o.cfg.StaticFrac {
+		done()
+		return
+	}
+	o.k.After(NetLatency, func() {
+		fStart := o.k.Now()
+		p := o.nextFS()
+		o.fsD.Read(p, o.cfg.StaticBytes, false, func() {
+			o.fsLat.Record(o.k.Now() - fStart)
+			o.k.After(NetLatency, done)
+		})
+	})
+}
+
+// eventWrite performs the add-event path: a DB transaction write plus a
+// file upload.
+func (o *Olio) eventWrite(done func()) {
+	o.k.After(NetLatency, func() {
+		wStart := o.k.Now()
+		p := o.nextDB()
+		p.Compute(o.cfg.QueryCPU, func() {
+			o.dbD.Write(p, o.cfg.DBPage, func() {
+				o.dbLat.Record(o.k.Now() - wStart)
+				o.k.After(NetLatency, func() {
+					fStart := o.k.Now()
+					fp := o.nextFS()
+					o.fsD.Write(fp, o.cfg.UploadBytes, func() {
+						o.fsLat.Record(o.k.Now() - fStart)
+						done()
+					})
+				})
+			})
+		})
+	})
+}

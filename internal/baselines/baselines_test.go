@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"testing"
+
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+func TestDIFFlushesOnIdle(t *testing.T) {
+	k := sim.NewKernel()
+	rng := stats.NewStream(1, "dif")
+	h := hypervisor.New(k, hypervisor.Config{}, rng.Fork("host"))
+	dif := NewDIF(h)
+	rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+			WakeInterval: 60 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+		}})
+	dif.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p := rt.G.NewProcess(1)
+	k.At(sim.Millisecond, func() { d.Write(p, 16<<20, nil) })
+	k.RunUntil(2 * sim.Second)
+	if d.Cache.DirtyPages() != 0 {
+		t.Fatalf("DIF left %d dirty pages", d.Cache.DirtyPages())
+	}
+	if dif.Signals() == 0 {
+		t.Fatal("no idleness signals published")
+	}
+}
+
+func TestDIFSignalsAllDirtyGuestsAtOnce(t *testing.T) {
+	// The defining contrast with IOrchestra: both dirty guests get the
+	// idle signal in the same tick (thundering herd).
+	k := sim.NewKernel()
+	rng := stats.NewStream(2, "dif")
+	h := hypervisor.New(k, hypervisor.Config{}, rng.Fork("host"))
+	dif := NewDIF(h)
+	mk := func() *hypervisor.GuestRuntime {
+		rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+			guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+				WakeInterval: 60 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+			}})
+		dif.EnableGuest(rt)
+		return rt
+	}
+	rt1, rt2 := mk(), mk()
+	p1, p2 := rt1.G.NewProcess(1), rt2.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		rt1.G.Disk("xvda").Write(p1, 8<<20, nil)
+		rt2.G.Disk("xvda").Write(p2, 8<<20, nil)
+	})
+	k.RunUntil(150 * sim.Millisecond)
+	if dif.Signals() < 2 {
+		t.Fatalf("Signals = %d, want both guests signalled", dif.Signals())
+	}
+	k.RunUntil(3 * sim.Second)
+	if rt1.G.Disk("xvda").Cache.DirtyPages() != 0 || rt2.G.Disk("xvda").Cache.DirtyPages() != 0 {
+		t.Fatal("caches not drained")
+	}
+}
+
+func TestSDCStaticEqualQuanta(t *testing.T) {
+	k := sim.NewKernel()
+	rng := stats.NewStream(3, "sdc")
+	cfg := HostConfig()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 2
+	h := hypervisor.New(k, cfg, rng.Fork("host"))
+	if h.Mode() != hypervisor.ModeDedicated {
+		t.Fatal("SDC host not in dedicated mode")
+	}
+	sdc := NewSDC(h)
+	rt1 := h.CreateGuest(guest.Config{VCPUs: 1})
+	rt2 := h.CreateGuest(guest.Config{VCPUs: 1})
+	sdc.EnableGuest(rt1)
+	sdc.EnableGuest(rt2)
+	for _, c := range h.IOCores() {
+		if c.Quantum(rt1.G.ID()) != c.Quantum(rt2.G.ID()) {
+			t.Fatal("SDC quanta not equal")
+		}
+	}
+	sdc.Rebalance() // no-op by contract
+	for _, c := range h.IOCores() {
+		if c.Quantum(rt1.G.ID()) != sdc.EqualQuantum {
+			t.Fatal("Rebalance changed static quanta")
+		}
+	}
+}
+
+func TestSDCRoutesToHomeSocketOnly(t *testing.T) {
+	k := sim.NewKernel()
+	rng := stats.NewStream(4, "sdc")
+	cfg := HostConfig()
+	cfg.Sockets = 2
+	cfg.CoresPerSocket = 2
+	h := hypervisor.New(k, cfg, rng.Fork("host"))
+	sdc := NewSDC(h)
+	// Cross-socket guest: 2 VCPUs but only 1 free core per socket.
+	rt := h.CreateGuest(guest.Config{VCPUs: 2, MemBytes: 4 << 30})
+	sdc.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p0 := rt.G.NewProcess(1)
+	p1 := rt.G.NewProcess(1)
+	for i := 0; i < 10; i++ {
+		d.Read(p0, 4096, false, nil)
+		d.Read(p1, 4096, false, nil)
+	}
+	k.Run()
+	home := h.IOCores()[rt.HomeSocket]
+	other := h.IOCores()[1-rt.HomeSocket]
+	if home.Processed() != 20 || other.Processed() != 0 {
+		t.Fatalf("SDC routing: home=%d other=%d, want all on home socket",
+			home.Processed(), other.Processed())
+	}
+}

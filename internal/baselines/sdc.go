@@ -1,0 +1,45 @@
+package baselines
+
+import (
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/store"
+)
+
+// SDC configures static dedicated I/O cores: one polling core per socket,
+// every VM's requests routed to its home socket's core (the "all VCPUs on
+// the same socket" assumption of the original framework), and static
+// equal time shares on each core. It owns no runtime logic beyond
+// enforcing the equal quanta — precisely the rigidity IOrchestra's
+// Algorithm 3 replaces.
+type SDC struct {
+	h *hypervisor.Host
+	// EqualQuantum is the static per-VM DRR quantum in bytes.
+	EqualQuantum float64
+}
+
+// NewSDC wraps a host that must have been built with ModeDedicated and
+// RouteBySocket=false.
+func NewSDC(h *hypervisor.Host) *SDC {
+	return &SDC{h: h, EqualQuantum: 256 << 10}
+}
+
+// HostConfig returns the host configuration SDC requires.
+func HostConfig() hypervisor.Config {
+	return hypervisor.Config{Mode: hypervisor.ModeDedicated, RouteBySocket: false}
+}
+
+// EnableGuest applies the static equal share for a VM on every core (the
+// original scheme gives each VM the same quantum regardless of load or
+// priority).
+func (s *SDC) EnableGuest(rt *hypervisor.GuestRuntime) {
+	for _, c := range s.h.IOCores() {
+		c.SetQuantum(rt.G.ID(), s.EqualQuantum)
+	}
+}
+
+// Rebalance is a no-op: SDC is static by definition. It exists so tests
+// can assert the contrast with IOrchestra's dynamic updates.
+func (s *SDC) Rebalance() {}
+
+// Dom0 re-exported for convenience in experiment wiring.
+var _ = store.Dom0

@@ -1,0 +1,181 @@
+// Package bus implements the IOrchestra inter-domain communication layer,
+// the equivalent of XenBus in the paper's prototype (Sec. 4): domains
+// register with the system store, obtain scoped handles to their own
+// subtree, register watch callbacks, and exchange notifications over
+// paired event-channel ports with a simulated delivery latency.
+package bus
+
+import (
+	"fmt"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+// Bus connects domains to the system store and to each other.
+type Bus struct {
+	k       *sim.Kernel
+	st      *store.Store
+	latency sim.Duration
+	domains map[store.DomID]*Domain
+	// notifications counts event-channel deliveries, for overhead accounting.
+	notifications uint64
+}
+
+// New returns a bus over st with the given event-channel delivery latency.
+func New(k *sim.Kernel, st *store.Store, eventLatency sim.Duration) *Bus {
+	return &Bus{k: k, st: st, latency: eventLatency, domains: map[store.DomID]*Domain{}}
+}
+
+// Store exposes the underlying system store (the hypervisor-side modules
+// use it directly; guests go through their Domain handle).
+func (b *Bus) Store() *store.Store { return b.st }
+
+// Kernel exposes the simulation clock the bus is bound to.
+func (b *Bus) Kernel() *sim.Kernel { return b.k }
+
+// Register creates (or returns) the domain handle for dom, creating its
+// store home directory as the toolstack would at domain creation.
+func (b *Bus) Register(dom store.DomID) *Domain {
+	if d, ok := b.domains[dom]; ok {
+		return d
+	}
+	b.st.AddDomain(dom)
+	d := &Domain{b: b, id: dom}
+	b.domains[dom] = d
+	return d
+}
+
+// Domains returns the ids of all registered domains in ascending order.
+func (b *Bus) Domains() []store.DomID {
+	out := make([]store.DomID, 0, len(b.domains))
+	for id := range b.domains {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; the set is small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Notifications reports the number of event-channel deliveries so far.
+func (b *Bus) Notifications() uint64 { return b.notifications }
+
+// Domain is a handle scoped to one domain's view of the store.
+type Domain struct {
+	b  *Bus
+	id store.DomID
+}
+
+// ID reports the domain id.
+func (d *Domain) ID() store.DomID { return d.id }
+
+// Path resolves a relative key to the domain's absolute store path.
+func (d *Domain) Path(rel string) string {
+	if rel == "" {
+		return store.DomainPath(d.id)
+	}
+	return store.DomainPath(d.id) + "/" + rel
+}
+
+// Write sets a key within the domain's own subtree.
+func (d *Domain) Write(rel, value string) error {
+	return d.b.st.Write(d.id, d.Path(rel), value)
+}
+
+// WriteBool sets a boolean key within the domain's own subtree.
+func (d *Domain) WriteBool(rel string, v bool) error {
+	return d.b.st.WriteBool(d.id, d.Path(rel), v)
+}
+
+// WriteInt sets an integer key within the domain's own subtree.
+func (d *Domain) WriteInt(rel string, v int64) error {
+	return d.b.st.WriteInt(d.id, d.Path(rel), v)
+}
+
+// WriteFloat sets a float key within the domain's own subtree.
+func (d *Domain) WriteFloat(rel string, v float64) error {
+	return d.b.st.WriteFloat(d.id, d.Path(rel), v)
+}
+
+// Read reads a key from the domain's own subtree.
+func (d *Domain) Read(rel string) (string, error) {
+	return d.b.st.Read(d.id, d.Path(rel))
+}
+
+// ReadBool reads a boolean key (false when absent).
+func (d *Domain) ReadBool(rel string) (bool, error) {
+	return d.b.st.ReadBool(d.id, d.Path(rel))
+}
+
+// ReadInt reads an integer key with a default.
+func (d *Domain) ReadInt(rel string, def int64) (int64, error) {
+	return d.b.st.ReadInt(d.id, d.Path(rel), def)
+}
+
+// ReadFloat reads a float key with a default.
+func (d *Domain) ReadFloat(rel string, def float64) (float64, error) {
+	return d.b.st.ReadFloat(d.id, d.Path(rel), def)
+}
+
+// Watch registers a callback on a relative prefix of the domain's own
+// subtree; fn receives the path relative to the domain root.
+func (d *Domain) Watch(rel string, fn func(rel, value string)) (store.WatchID, error) {
+	prefix := d.Path(rel)
+	base := store.DomainPath(d.id) + "/"
+	return d.b.st.Watch(d.id, prefix, func(path, value string) {
+		r := path
+		if len(path) > len(base) && path[:len(base)] == base {
+			r = path[len(base):]
+		}
+		fn(r, value)
+	})
+}
+
+// Unwatch removes a previously registered watch.
+func (d *Domain) Unwatch(id store.WatchID) { d.b.st.Unwatch(id) }
+
+// Port is one end of an event channel. Notifications carry no payload
+// (exactly as in Xen); data travels through the store or shared rings.
+type Port struct {
+	b       *Bus
+	peer    *Port
+	dom     store.DomID
+	handler func()
+	closed  bool
+}
+
+// NewChannel creates a bound pair of event-channel ports between two
+// domains.
+func (b *Bus) NewChannel(a, z store.DomID) (*Port, *Port) {
+	pa := &Port{b: b, dom: a}
+	pz := &Port{b: b, dom: z}
+	pa.peer, pz.peer = pz, pa
+	return pa, pz
+}
+
+// SetHandler installs the callback invoked when the peer notifies.
+func (p *Port) SetHandler(fn func()) { p.handler = fn }
+
+// Notify signals the peer port; its handler runs after the bus latency.
+// Notifying a closed channel is a no-op, as the event is simply lost.
+func (p *Port) Notify() {
+	if p.closed || p.peer == nil || p.peer.closed {
+		return
+	}
+	peer := p.peer
+	p.b.notifications++
+	p.b.k.After(p.b.latency, func() {
+		if !peer.closed && peer.handler != nil {
+			peer.handler()
+		}
+	})
+}
+
+// Close tears down this end; in-flight notifications to it are dropped.
+func (p *Port) Close() { p.closed = true }
+
+// String identifies the port for diagnostics.
+func (p *Port) String() string { return fmt.Sprintf("port(dom%d)", p.dom) }

@@ -1,0 +1,176 @@
+package bus
+
+import (
+	"errors"
+	"testing"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+func mk() (*sim.Kernel, *Bus) {
+	k := sim.NewKernel()
+	st := store.New(k, 5*sim.Microsecond)
+	return k, New(k, st, 20*sim.Microsecond)
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	_, b := mk()
+	d1 := b.Register(3)
+	d2 := b.Register(3)
+	if d1 != d2 {
+		t.Fatal("Register returned distinct handles for same domain")
+	}
+	if d1.ID() != 3 {
+		t.Fatalf("ID = %d", d1.ID())
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	_, b := mk()
+	for _, id := range []store.DomID{5, 1, 3} {
+		b.Register(id)
+	}
+	got := b.Domains()
+	want := []store.DomID{1, 3, 5}
+	if len(got) != 3 {
+		t.Fatalf("Domains = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Domains = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDomainScopedReadWrite(t *testing.T) {
+	_, b := mk()
+	d := b.Register(2)
+	if err := d.Write("virt-dev/xvda/nr", "10"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := d.Read("virt-dev/xvda/nr"); err != nil || v != "10" {
+		t.Fatalf("Read = %q, %v", v, err)
+	}
+	// Raw store confirms the absolute path.
+	if v, err := b.Store().Read(store.Dom0, "/local/domain/2/virt-dev/xvda/nr"); err != nil || v != "10" {
+		t.Fatalf("absolute Read = %q, %v", v, err)
+	}
+}
+
+func TestDomainTypedHelpers(t *testing.T) {
+	_, b := mk()
+	d := b.Register(2)
+	d.WriteBool("flag", true)
+	if v, err := d.ReadBool("flag"); err != nil || !v {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	d.WriteInt("count", 9)
+	if v, err := d.ReadInt("count", 0); err != nil || v != 9 {
+		t.Fatalf("ReadInt = %d, %v", v, err)
+	}
+	d.WriteFloat("ratio", 0.5)
+	if v, err := d.ReadFloat("ratio", 0); err != nil || v != 0.5 {
+		t.Fatalf("ReadFloat = %v, %v", v, err)
+	}
+	if v, err := d.ReadInt("absent", 4); err != nil || v != 4 {
+		t.Fatalf("ReadInt default = %d, %v", v, err)
+	}
+}
+
+func TestDomainCannotEscapeSubtree(t *testing.T) {
+	_, b := mk()
+	b.Register(1)
+	d2 := b.Register(2)
+	// Domain 2's handle is rooted at its own path; the only way to reach
+	// domain 1 is through the raw store, which denies it.
+	err := b.Store().Write(2, store.DomainPath(1)+"/x", "intrude")
+	if !errors.Is(err, store.ErrPermission) {
+		t.Fatalf("cross-domain raw write err = %v", err)
+	}
+	_ = d2
+}
+
+func TestDomainWatchRelativePaths(t *testing.T) {
+	k, b := mk()
+	d := b.Register(4)
+	var gotRel, gotVal string
+	d.Watch("virt-dev", func(rel, v string) { gotRel, gotVal = rel, v })
+	k.At(1, func() { d.Write("virt-dev/xvda/congested", "1") })
+	k.Run()
+	if gotRel != "virt-dev/xvda/congested" || gotVal != "1" {
+		t.Fatalf("watch got (%q, %q)", gotRel, gotVal)
+	}
+}
+
+func TestDomainUnwatch(t *testing.T) {
+	k, b := mk()
+	d := b.Register(4)
+	fired := false
+	id, _ := d.Watch("x", func(rel, v string) { fired = true })
+	d.Unwatch(id)
+	k.At(1, func() { d.Write("x", "1") })
+	k.Run()
+	if fired {
+		t.Fatal("unwatched callback fired")
+	}
+}
+
+func TestChannelNotifyLatencyAndDirection(t *testing.T) {
+	k, b := mk()
+	front, back := b.NewChannel(1, 0)
+	var frontAt, backAt sim.Time
+	front.SetHandler(func() { frontAt = k.Now() })
+	back.SetHandler(func() { backAt = k.Now() })
+	k.At(sim.Millisecond, func() { front.Notify() }) // guest kicks backend
+	k.At(2*sim.Millisecond, func() { back.Notify() })
+	k.Run()
+	if want := sim.Millisecond + 20*sim.Microsecond; backAt != want {
+		t.Fatalf("backend handler at %v, want %v", backAt, want)
+	}
+	if want := 2*sim.Millisecond + 20*sim.Microsecond; frontAt != want {
+		t.Fatalf("frontend handler at %v, want %v", frontAt, want)
+	}
+	if b.Notifications() != 2 {
+		t.Fatalf("Notifications = %d", b.Notifications())
+	}
+}
+
+func TestChannelClosedDropsEvents(t *testing.T) {
+	k, b := mk()
+	a, z := b.NewChannel(1, 2)
+	fired := false
+	z.SetHandler(func() { fired = true })
+	k.At(1, func() {
+		a.Notify()
+		z.Close() // close before delivery: in-flight event dropped
+	})
+	k.Run()
+	if fired {
+		t.Fatal("closed port received event")
+	}
+	// Notify on closed peer is a no-op rather than a panic.
+	k2, b2 := mk()
+	a2, z2 := b2.NewChannel(1, 2)
+	z2.Close()
+	k2.At(1, func() { a2.Notify() })
+	k2.Run()
+	if b2.Notifications() != 0 {
+		t.Fatal("notification counted despite closed peer")
+	}
+}
+
+func TestChannelNoHandlerIsSafe(t *testing.T) {
+	k, b := mk()
+	a, _ := b.NewChannel(1, 2)
+	k.At(1, func() { a.Notify() })
+	k.Run() // must not panic
+}
+
+func TestPortString(t *testing.T) {
+	_, b := mk()
+	a, _ := b.NewChannel(7, 0)
+	if a.String() != "port(dom7)" {
+		t.Fatalf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"iorchestra/internal/apps"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+	"iorchestra/internal/workload"
+)
+
+// AppKind selects the application a dynamically arriving VM runs; the
+// paper's mix is {FS, YCSB1, Cloud9} (Sec. 5.3).
+type AppKind int
+
+const (
+	// AppFS runs the FileBench fileserver until FSBytes are written.
+	AppFS AppKind = iota
+	// AppYCSB1 runs the update-heavy YCSB mix for YCSBOps operations.
+	AppYCSB1
+	// AppCloud9 runs CPU bursts until Cloud9Bursts complete.
+	AppCloud9
+)
+
+// String names the app kind.
+func (a AppKind) String() string {
+	switch a {
+	case AppFS:
+		return "FS"
+	case AppYCSB1:
+		return "YCSB1"
+	default:
+		return "Cloud9"
+	}
+}
+
+// ArrivalsConfig parameterizes the dynamic experiment.
+type ArrivalsConfig struct {
+	// Lambda is the Poisson VM arrival rate per minute (paper: 4..20).
+	Lambda float64
+	// Duration is the experiment length (paper: one hour per λ).
+	Duration sim.Duration
+	// Sizes are the candidate VCPU counts (= GB of memory); paper:
+	// {2,4,6,8,10}.
+	Sizes []int
+	// Apps is the candidate application mix.
+	Apps []AppKind
+	// Problem sizes (paper: 50,000 YCSB operations; 2 GB FS data).
+	YCSBOps      uint64
+	FSBytes      int64
+	Cloud9Bursts int
+	// Overcommit allows activeVCPUs up to Overcommit × usable cores
+	// (default 1.0: no overcommit, FIFO queueing instead).
+	Overcommit float64
+}
+
+func (c *ArrivalsConfig) fillDefaults() {
+	if c.Lambda <= 0 {
+		c.Lambda = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = sim.Hour
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{2, 4, 6, 8, 10}
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = []AppKind{AppFS, AppYCSB1, AppCloud9}
+	}
+	if c.YCSBOps == 0 {
+		c.YCSBOps = 50000
+	}
+	if c.FSBytes == 0 {
+		c.FSBytes = 2 << 30
+	}
+	if c.Cloud9Bursts == 0 {
+		c.Cloud9Bursts = 2000
+	}
+	if c.Overcommit <= 0 {
+		c.Overcommit = 1.0
+	}
+}
+
+// VMHooks lets the experiment wire a system (baseline, SDC, DIF,
+// IOrchestra) into each VM's lifecycle.
+type VMHooks struct {
+	// OnCreate runs after guest creation, before its app starts —
+	// install drivers here.
+	OnCreate func(rt *hypervisor.GuestRuntime)
+	// OnRemove runs just before guest removal.
+	OnRemove func(rt *hypervisor.GuestRuntime)
+}
+
+type pendingVM struct {
+	vcpus int
+	app   AppKind
+}
+
+type runningVM struct {
+	rt    *hypervisor.GuestRuntime
+	vcpus int
+	app   AppKind
+	stop  func()
+	// written reports application write bytes accepted so far; ioBytes
+	// the total I/O bytes. Used for live throughput accounting.
+	written func() float64
+	ioBytes func() float64
+}
+
+// Arrivals drives the dynamic VM experiment on one host.
+type Arrivals struct {
+	k     *sim.Kernel
+	h     *hypervisor.Host
+	cfg   ArrivalsConfig
+	hooks VMHooks
+	// rng drives the arrival process only (gaps, sizes, app choice); VM
+	// workloads get independent per-placement streams derived from
+	// appSeed, so arrival sequences stay identical across compared
+	// systems no matter when each system finishes its VMs.
+	rng     *stats.Stream
+	appSeed uint64
+
+	queue       []pendingVM
+	running     map[store.DomID]*runningVM
+	activeVCPUs int
+	usableCores int
+
+	arrived      int
+	placed       int
+	completed    int
+	writtenBytes float64
+	ioBytes      float64
+
+	stopped bool
+}
+
+// NewArrivals builds the engine on host h.
+func NewArrivals(k *sim.Kernel, h *hypervisor.Host, cfg ArrivalsConfig, hooks VMHooks, rng *stats.Stream) *Arrivals {
+	cfg.fillDefaults()
+	// Admission budgets by total cores on every platform: VCPUs may share
+	// cores (work-conserving), so reserving polling cores does not shrink
+	// the admission budget, only the compute capacity.
+	usable := h.TotalCores()
+	return &Arrivals{
+		k: k, h: h, cfg: cfg, hooks: hooks, rng: rng,
+		appSeed: rng.Uint64(),
+		running: map[store.DomID]*runningVM{}, usableCores: usable,
+	}
+}
+
+// Arrived, Placed, Completed, QueueLen report progress.
+func (a *Arrivals) Arrived() int { return a.arrived }
+
+// Placed reports VMs that obtained capacity.
+func (a *Arrivals) Placed() int { return a.placed }
+
+// Completed reports VMs that finished their problem size (Fig. 10b).
+func (a *Arrivals) Completed() int { return a.completed }
+
+// QueueLen reports VMs waiting FIFO for capacity.
+func (a *Arrivals) QueueLen() int { return len(a.queue) }
+
+// WrittenBytes reports aggregate application write bytes (Table 2),
+// including VMs still running.
+func (a *Arrivals) WrittenBytes() float64 {
+	total := a.writtenBytes
+	for _, run := range a.running {
+		if run.written != nil {
+			total += run.written()
+		}
+	}
+	return total
+}
+
+// IOBytes reports aggregate application I/O bytes, read and write
+// (Fig. 11's I/O throughput numerator), including VMs still running.
+func (a *Arrivals) IOBytes() float64 {
+	total := a.ioBytes
+	for _, run := range a.running {
+		if run.ioBytes != nil {
+			total += run.ioBytes()
+		}
+	}
+	return total
+}
+
+// Start begins Poisson arrivals and runs until the configured duration;
+// VMs still running at the end are left to finish or be abandoned by the
+// caller's RunUntil horizon.
+func (a *Arrivals) Start() { a.scheduleNext() }
+
+// Stop halts new arrivals.
+func (a *Arrivals) Stop() { a.stopped = true }
+
+func (a *Arrivals) scheduleNext() {
+	if a.stopped {
+		return
+	}
+	ratePerSec := a.cfg.Lambda / 60.0
+	gap := sim.DurationOf(a.rng.Exponential(ratePerSec))
+	a.k.After(gap, func() {
+		if a.stopped || a.k.Now() >= a.cfg.Duration {
+			return
+		}
+		a.arrive()
+		a.scheduleNext()
+	})
+}
+
+func (a *Arrivals) arrive() {
+	a.arrived++
+	vm := pendingVM{
+		vcpus: stats.Pick(a.rng, a.cfg.Sizes),
+		app:   stats.Pick(a.rng, a.cfg.Apps),
+	}
+	a.queue = append(a.queue, vm)
+	a.tryPlace()
+}
+
+// tryPlace admits queued VMs FIFO while capacity remains.
+func (a *Arrivals) tryPlace() {
+	budget := int(float64(a.usableCores) * a.cfg.Overcommit)
+	for len(a.queue) > 0 {
+		vm := a.queue[0]
+		if a.activeVCPUs+vm.vcpus > budget {
+			return
+		}
+		a.queue = a.queue[1:]
+		a.place(vm)
+	}
+}
+
+func (a *Arrivals) place(vm pendingVM) {
+	a.placed++
+	a.activeVCPUs += vm.vcpus
+	rt := a.h.CreateGuest(guest.Config{
+		VCPUs:    vm.vcpus,
+		MemBytes: int64(vm.vcpus) << 30,
+	}, guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+		// The OS page cache available for dirty data is bounded by what
+		// the apps leave free, not the whole VM (≈1 GB regardless of
+		// size); write bursts therefore outrun the dirty budget, which is
+		// the regime the flush policy targets.
+		TotalPages:      (1 << 30) / pagecache.PageSize,
+		DirtyRatio:      0.2,
+		BackgroundRatio: 0.1,
+		WritebackWindow: 64,
+	}})
+	if a.hooks.OnCreate != nil {
+		a.hooks.OnCreate(rt)
+	}
+	run := &runningVM{rt: rt, vcpus: vm.vcpus, app: vm.app}
+	a.running[rt.G.ID()] = run
+	a.startApp(run)
+}
+
+func (a *Arrivals) finish(run *runningVM, written, io float64) {
+	if _, ok := a.running[run.rt.G.ID()]; !ok {
+		return
+	}
+	run.written, run.ioBytes = nil, nil
+	delete(a.running, run.rt.G.ID())
+	a.completed++
+	a.writtenBytes += written
+	a.ioBytes += io
+	a.activeVCPUs -= run.vcpus
+	if a.hooks.OnRemove != nil {
+		a.hooks.OnRemove(run.rt)
+	}
+	a.h.RemoveGuest(run.rt.G.ID())
+	a.tryPlace()
+}
+
+// startApp launches the VM's application with its fixed problem size.
+func (a *Arrivals) startApp(run *runningVM) {
+	g := run.rt.G
+	d := g.Disks()[0]
+	rng := stats.NewStream(a.appSeed+uint64(a.placed), "app")
+	switch run.app {
+	case AppFS:
+		fs := workload.NewFS(a.k, g, d, workload.FSConfig{
+			Threads:      run.vcpus,
+			MeanFileSize: 1 << 20,
+			Think:        6 * sim.Millisecond,
+			WriteFrac:    0.8, AppendFrac: 0.1, ReadFrac: 0.05,
+			BurstOn:  1500 * sim.Millisecond,
+			BurstOff: 3500 * sim.Millisecond,
+		}, rng)
+		fs.Start()
+		run.stop = fs.Stop
+		run.written = fs.WrittenBytes
+		run.ioBytes = fs.WrittenBytes
+		// Poll for the data-transmission quota; FS has no natural end.
+		target := float64(a.cfg.FSBytes)
+		var check func()
+		check = func() {
+			if _, ok := a.running[run.rt.G.ID()]; !ok {
+				return
+			}
+			if fs.WrittenBytes() >= target {
+				fs.Stop()
+				a.finish(run, fs.WrittenBytes(), fs.WrittenBytes())
+				return
+			}
+			a.k.After(250*sim.Millisecond, check)
+		}
+		a.k.After(250*sim.Millisecond, check)
+	case AppYCSB1:
+		node := apps.NewCassandraNode(a.k, g, d, apps.CassandraConfig{}, rng.Fork("node"))
+		cl := apps.NewCassandraCluster(a.k, []*apps.CassandraNode{node}, rng.Fork("cl"))
+		// Closed-loop with one client per VCPU ("the number of
+		// application threads is the same as its VCPUs").
+		cfg := workload.YCSB1()
+		op := workload.YCSBOp(cfg, cl, rng.Fork("op"))
+		gen := workload.NewClosedLoop(a.k, run.vcpus, 0, op, rng.Fork("gen"))
+		gen.Start()
+		run.stop = gen.Stop
+		run.written = func() float64 { return float64(gen.Recorder().Completed()) / 2 * 4096 }
+		run.ioBytes = func() float64 { return float64(gen.Recorder().Completed()) * 4096 }
+		ops := a.cfg.YCSBOps
+		var check func()
+		check = func() {
+			if _, ok := a.running[run.rt.G.ID()]; !ok {
+				return
+			}
+			if gen.Recorder().Completed() >= ops {
+				gen.Stop()
+				// Half the ops are 4 KiB commitlog updates.
+				written := float64(ops) / 2 * 4096
+				a.finish(run, written, written*2)
+				return
+			}
+			a.k.After(250*sim.Millisecond, check)
+		}
+		a.k.After(250*sim.Millisecond, check)
+	case AppCloud9:
+		cb := workload.NewCPUBound(a.k, g, rng)
+		cb.TotalBursts = a.cfg.Cloud9Bursts
+		cb.OnDone = func() { a.finish(run, 0, 0) }
+		cb.Start()
+		run.stop = cb.Stop
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"iorchestra/internal/blkio"
+	"iorchestra/internal/device"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+)
+
+func mkPlatform(t *testing.T, hcfg hypervisor.Config, pol Policies, seed uint64) (*sim.Kernel, *hypervisor.Host, *Manager) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := stats.NewStream(seed, "platform")
+	h := hypervisor.New(k, hcfg, rng.Fork("host"))
+	m := NewManager(h, pol, ManagerConfig{}, rng.Fork("mgr"))
+	return k, h, m
+}
+
+func TestFlushPolicyDrainsDirtyPagesDuringIdle(t *testing.T) {
+	k, h, m := mkPlatform(t, hypervisor.Config{}, Policies{Flush: true}, 1)
+	rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+			// Long flusher period and generous ratios: without IOrchestra
+			// nothing would flush for 30+ seconds.
+			WakeInterval: 30 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+		}})
+	drv := m.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p := rt.G.NewProcess(1)
+	k.At(sim.Millisecond, func() { d.Write(p, 32<<20, nil) })
+	k.RunUntil(2 * sim.Second)
+	if d.Cache.DirtyPages() != 0 {
+		t.Fatalf("dirty pages after idle period: %d", d.Cache.DirtyPages())
+	}
+	if m.FlushNotices() == 0 {
+		t.Fatal("management module never issued flush_now")
+	}
+	if drv.Flushes() == 0 {
+		t.Fatal("guest driver never handled flush_now")
+	}
+	// flush_now was reset by the guest.
+	if v, _ := h.Store().ReadBool(store.Dom0, absDiskKey(rt.G.ID(), "xvda", keyFlushNow)); v {
+		t.Fatal("flush_now not reset")
+	}
+}
+
+func TestFlushPolicyPicksArgmaxDirty(t *testing.T) {
+	k, h, m := mkPlatform(t, hypervisor.Config{}, Policies{Flush: true}, 2)
+	mk := func() *hypervisor.GuestRuntime {
+		return h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+			guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+				WakeInterval: 60 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+			}})
+	}
+	rt1, rt2 := mk(), mk()
+	d1, d2 := m.EnableGuest(rt1), m.EnableGuest(rt2)
+	p1 := rt1.G.NewProcess(1)
+	p2 := rt2.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		rt1.G.Disk("xvda").Write(p1, 16<<20, nil) // 4096 dirty pages
+		rt2.G.Disk("xvda").Write(p2, 64<<20, nil) // 16384 dirty pages
+	})
+	// Run long enough for the first flush decision (the manager waits out
+	// the dirty-set growth guard before acting).
+	k.RunUntil(400 * sim.Millisecond)
+	if d2.Flushes() == 0 {
+		t.Fatalf("guest with most dirty pages not flushed first (d1=%d d2=%d)",
+			d1.Flushes(), d2.Flushes())
+	}
+	if d1.Flushes() != 0 {
+		t.Fatal("smaller guest flushed before argmax guest")
+	}
+	k.RunUntil(5 * sim.Second)
+	// Eventually both drain.
+	if rt1.G.Disk("xvda").Cache.DirtyPages() != 0 || rt2.G.Disk("xvda").Cache.DirtyPages() != 0 {
+		t.Fatal("caches not drained")
+	}
+}
+
+func TestCongestionVetoReleasesQueue(t *testing.T) {
+	// A tiny queue limit makes the guest cross its 7/8 threshold while
+	// the big host array stays uncongested — the false trigger from
+	// Sec. 2. The manager must veto and release the producers.
+	k, h, m := mkPlatform(t, hypervisor.Config{}, Policies{Congestion: true}, 3)
+	rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", QueueConfig: blkio.Config{Limit: 16, DispatchWindow: 4}})
+	drv := m.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p := rt.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		for i := 0; i < 40; i++ {
+			d.Read(p, 64<<10, false, nil)
+		}
+	})
+	k.RunUntil(2 * sim.Second)
+	if m.Vetoes() == 0 {
+		t.Fatalf("manager never vetoed a false congestion trigger (confirms=%d)", m.Confirms())
+	}
+	if drv.Releases() == 0 {
+		t.Fatal("guest driver never released the queue")
+	}
+	if got := d.Queue.Completed(); got != 40 {
+		t.Fatalf("completed %d/40 requests", got)
+	}
+	if d.Queue.AvoidanceEngaged() {
+		t.Fatal("avoidance still engaged at the end")
+	}
+}
+
+func TestCongestionConfirmAndRelief(t *testing.T) {
+	// A genuinely congested host device: the manager confirms, holds the
+	// VM, and releases it FIFO-with-stagger once the device drains.
+	k := sim.NewKernel()
+	rng := stats.NewStream(6, "platform")
+	ssdCfg := device.Intel520Config("slow")
+	ssdCfg.SeqReadBps = 20e6 // slow device so its queue really fills
+	ssdCfg.JitterFrac = 0
+	ssdCfg.WriteTailOdds = 0
+	ssdCfg.QueueLimit = 32
+	dev := device.NewSSD(k, ssdCfg, rng.Fork("dev"))
+	h := hypervisor.New(k, hypervisor.Config{Device: dev, MaxDeviceInFlight: 64}, rng.Fork("host"))
+	m := NewManager(h, Policies{Congestion: true}, ManagerConfig{}, rng.Fork("mgr"))
+	rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", QueueConfig: blkio.Config{Limit: 64, DispatchWindow: 64}})
+	m.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p := rt.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		for i := 0; i < 80; i++ {
+			d.Read(p, 256<<10, false, nil)
+		}
+	})
+	k.RunUntil(30 * sim.Second)
+	if m.Confirms() == 0 {
+		t.Fatalf("manager never confirmed real congestion (vetoes=%d)", m.Vetoes())
+	}
+	if m.Relieves() == 0 {
+		t.Fatal("held VM never relieved after device drained")
+	}
+	if got := d.Queue.Completed(); got != 80 {
+		t.Fatalf("completed %d/80", got)
+	}
+}
+
+func TestCoschedPublishesTargetsAndQuanta(t *testing.T) {
+	k, h, m := mkPlatform(t, hypervisor.Config{
+		Mode: hypervisor.ModeDedicated, RouteBySocket: true, Sockets: 2, CoresPerSocket: 2,
+		// Slow polling cores: on-core latency must exceed the manager's
+		// contention gate for redistribution targets to be published.
+		IOCoreCostPerReq: 50 * sim.Microsecond, IOCoreBps: 5e8,
+	}, Policies{Cosched: true}, 4)
+	// 2 sockets × 2 cores, core 0 reserved per socket → a 2-VCPU guest
+	// spans both sockets.
+	rt := h.CreateGuest(guest.Config{VCPUs: 2, MemBytes: 4 << 30})
+	drv := m.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	// All I/O processes start on socket of vcpu0: imbalanced.
+	procs := make([]*guest.Process, 4)
+	for i := range procs {
+		procs[i] = rt.G.NewProcess(1)
+	}
+	drv.PublishWeights()
+	// Generate traffic so cores observe latencies.
+	var issue func()
+	n := 0
+	issue = func() {
+		if n >= 2000 {
+			return
+		}
+		n++
+		d.Read(procs[n%4], 64<<10, false, issue)
+	}
+	k.At(sim.Millisecond, func() { issue(); issue(); issue(); issue() })
+	k.RunUntil(4 * sim.Second)
+	if m.CoschedRuns() == 0 {
+		t.Fatal("cosched never ran")
+	}
+	// Targets were published for both sockets.
+	for _, s := range rt.G.Sockets() {
+		f, err := h.Store().ReadFloat(store.Dom0,
+			store.DomainPath(rt.G.ID())+"/"+socketKey(keyTargetPrefix, s), -1)
+		if err != nil || f < 0 || f > 1 {
+			t.Fatalf("target for socket %d = %v, %v", s, f, err)
+		}
+	}
+	// Quanta were applied on the cores.
+	q0 := h.IOCores()[0].Quantum(rt.G.ID())
+	q1 := h.IOCores()[1].Quantum(rt.G.ID())
+	if q0 == 256<<10 && q1 == 256<<10 {
+		t.Fatal("quanta never updated from defaults")
+	}
+}
+
+func TestManagerCountersStartZero(t *testing.T) {
+	_, _, m := mkPlatform(t, hypervisor.Config{}, All(), 5)
+	if m.FlushNotices() != 0 || m.Vetoes() != 0 || m.Confirms() != 0 ||
+		m.Relieves() != 0 || m.CoschedRuns() != 0 {
+		t.Fatal("counters not zeroed")
+	}
+}

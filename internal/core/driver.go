@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"iorchestra/internal/blkio"
+	"iorchestra/internal/bus"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// Driver is the guest-side IOrchestra component ("system store driver" in
+// Fig. 2): it registers the guest's keys and callbacks at initialization,
+// mirrors dirty-page state into the store, implements the collaborative
+// congestion controller for each virtual disk, reacts to flush_now and
+// release_request notifications, and applies co-scheduling weight targets
+// by migrating I/O processes between sockets.
+type Driver struct {
+	k   *sim.Kernel
+	g   *guest.Guest
+	dom *bus.Domain
+	rng *stats.Stream
+
+	disks map[string]*diskDriver
+
+	// QueryInterval rate-limits congestion queries per disk (default 5 ms).
+	QueryInterval sim.Duration
+	// ReleaseGrace is how long a host "not congested" verdict remains
+	// valid: within it, local congestion triggers are suppressed instead
+	// of re-queried (default 50 ms).
+	ReleaseGrace sim.Duration
+	// NrUpdateInterval rate-limits nr_dirty store updates (default 50 ms).
+	NrUpdateInterval sim.Duration
+
+	// Stats.
+	flushes   uint64
+	releases  uint64
+	rebalance uint64
+}
+
+type diskDriver struct {
+	drv  *Driver
+	name string
+	v    *guest.VDisk
+
+	lastQuery     sim.Time
+	everQueried   bool
+	releasedUntil sim.Time
+	nrTimer       *sim.Event
+	pendingNr     int64
+	havePending   bool
+}
+
+// NewDriver installs the IOrchestra driver into a guest on host h. It
+// must run after the guest's disks are attached: each disk's congestion
+// controller is replaced with the collaborative one, dirty-page state is
+// mirrored to the store, and all watches are registered.
+func NewDriver(h *hypervisor.Host, rt *hypervisor.GuestRuntime, rng *stats.Stream) *Driver {
+	drv := &Driver{
+		k:                h.Kernel(),
+		g:                rt.G,
+		dom:              rt.Dom,
+		rng:              rng,
+		disks:            map[string]*diskDriver{},
+		QueryInterval:    5 * sim.Millisecond,
+		ReleaseGrace:     50 * sim.Millisecond,
+		NrUpdateInterval: 50 * sim.Millisecond,
+	}
+	// Register per-domain keys (guest-owned so both sides can write —
+	// nodes created by Dom0 under a guest's subtree would be unreadable
+	// to the guest).
+	drv.dom.WriteBool(keyReleaseRequest, false)
+	drv.dom.WriteInt(keyTotalWeight, 0)
+	for _, s := range rt.G.Sockets() {
+		drv.dom.WriteFloat(socketKey(keyTargetPrefix, s), -1)
+		drv.dom.WriteFloat(socketKey(keySharePrefix, s), -1)
+	}
+	for _, v := range rt.G.Disks() {
+		drv.addDisk(v)
+	}
+	drv.PublishWeights()
+	// One watch over the domain subtree dispatches every notification.
+	drv.dom.Watch("", drv.onStoreEvent)
+	return drv
+}
+
+func (drv *Driver) addDisk(v *guest.VDisk) {
+	dd := &diskDriver{drv: drv, name: v.Name(), v: v}
+	drv.disks[v.Name()] = dd
+	// Pre-create guest-owned keys.
+	drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), false)
+	drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), 0)
+	drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
+	drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), false)
+	drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+	// Mirror dirty-page state (Algorithm 1's guest half).
+	v.Cache.OnDirtyChange = dd.onDirtyChange
+	// Collaborative congestion control (Algorithm 2's guest half).
+	v.Queue.SetController(dd)
+}
+
+// Flushes, Releases, Rebalances report lifetime driver actions.
+func (drv *Driver) Flushes() uint64 { return drv.flushes }
+
+// Releases reports collaborative congestion releases handled.
+func (drv *Driver) Releases() uint64 { return drv.releases }
+
+// Rebalances reports co-scheduling process redistributions applied.
+func (drv *Driver) Rebalances() uint64 { return drv.rebalance }
+
+// --- Dirty-page mirroring (Algorithm 1, guest side) -----------------------
+
+func (dd *diskDriver) onDirtyChange(nr int64) {
+	drv := dd.drv
+	if nr == 0 {
+		// Transition to clean is always published immediately.
+		if dd.nrTimer != nil {
+			drv.k.Cancel(dd.nrTimer)
+			dd.nrTimer = nil
+			dd.havePending = false
+		}
+		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), false)
+		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), 0)
+		return
+	}
+	if v, _ := drv.dom.ReadBool(diskKey(dd.name, keyHasDirty)); !v {
+		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), true)
+		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), nr)
+		return
+	}
+	// Rate-limit nr updates: remember the latest and flush on a timer.
+	dd.pendingNr = nr
+	if dd.havePending {
+		return
+	}
+	dd.havePending = true
+	dd.nrTimer = drv.k.After(drv.NrUpdateInterval, func() {
+		dd.nrTimer = nil
+		dd.havePending = false
+		if dd.pendingNr > 0 {
+			drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), dd.pendingNr)
+		}
+	})
+}
+
+// --- Collaborative congestion control (Algorithm 2, guest side) -----------
+
+// OnCongested implements blkio.CongestionController: engage avoidance
+// locally (conservative) and ask the host whether its I/O subsystem is
+// actually congested.
+func (dd *diskDriver) OnCongested(q *blkio.Queue) bool {
+	drv := dd.drv
+	now := drv.k.Now()
+	if now < dd.releasedUntil {
+		// The host recently ruled the I/O subsystem uncongested; trust
+		// that verdict instead of re-engaging avoidance immediately.
+		return false
+	}
+	if !dd.everQueried || now-dd.lastQuery >= drv.QueryInterval {
+		dd.everQueried = true
+		dd.lastQuery = now
+		drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), true)
+	}
+	return true
+}
+
+// OnUncongested implements blkio.CongestionController.
+func (dd *diskDriver) OnUncongested(q *blkio.Queue) {
+	dd.drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+}
+
+// --- Store event dispatch --------------------------------------------------
+
+func (drv *Driver) onStoreEvent(rel, value string) {
+	switch {
+	case strings.HasPrefix(rel, "virt-dev/"):
+		rest := rel[len("virt-dev/"):]
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			return
+		}
+		disk, key := rest[:i], rest[i+1:]
+		dd := drv.disks[disk]
+		if dd == nil {
+			return
+		}
+		switch key {
+		case keyFlushNow:
+			if value == "1" {
+				dd.handleFlushNow()
+			}
+		case keyCongested:
+			// Host verdict recorded; nothing further to do here — the
+			// queue stays in avoidance until release or local drain.
+		}
+	case rel == keyReleaseRequest:
+		if value == "1" {
+			drv.handleRelease()
+		}
+	case strings.HasPrefix(rel, keyTargetPrefix+"/"):
+		drv.applyTargets()
+	}
+}
+
+// handleFlushNow is Algorithm 1's notified branch: trigger sync(), which
+// wakes the flusher threads, then reset flush_now.
+func (dd *diskDriver) handleFlushNow() {
+	drv := dd.drv
+	drv.flushes++
+	dd.v.Cache.Sync(nil)
+	drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
+}
+
+// handleRelease is Algorithm 2's release branch: unplug and flush every
+// disk's request queue, clear congested flags, reset release_request.
+func (drv *Driver) handleRelease() {
+	drv.releases++
+	until := drv.k.Now() + drv.ReleaseGrace
+	for _, dd := range drv.disks {
+		dd.releasedUntil = until
+		dd.v.Queue.Release(nil)
+		drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+	}
+	drv.dom.WriteBool(keyReleaseRequest, false)
+}
+
+// --- Co-scheduling (Sec. 3.3, guest side) ----------------------------------
+
+// PublishWeights writes the per-socket process weights W_SKT and the total
+// process weight to the store for the management module.
+func (drv *Driver) PublishWeights() {
+	weights := drv.g.ProcessWeightBySocket()
+	for _, s := range drv.g.Sockets() {
+		drv.dom.WriteFloat(socketKey(keyWeightPrefix, s), weights[s])
+	}
+	drv.dom.WriteFloat(keyTotalWeight, drv.g.TotalProcessWeight())
+}
+
+// applyTargets reads the management module's per-socket weight fractions
+// and redistributes I/O processes (and their weights) across sockets to
+// match — the "registered callback function inside a guest VM" of
+// Sec. 3.3.
+func (drv *Driver) applyTargets() {
+	sockets := drv.g.Sockets()
+	if len(sockets) < 2 {
+		return
+	}
+	targets := make(map[int]float64, len(sockets))
+	var sum float64
+	for _, s := range sockets {
+		f, err := drv.dom.ReadFloat(socketKey(keyTargetPrefix, s), -1)
+		if err != nil || f < 0 {
+			return // incomplete target set; wait for the next update
+		}
+		targets[s] = f
+		sum += f
+	}
+	if sum <= 0 {
+		return
+	}
+	// Greedy redistribution: walk the I/O processes in id order and fill
+	// sockets to their target share of the total weight.
+	total := drv.g.TotalProcessWeight()
+	if total <= 0 {
+		return
+	}
+	type bucket struct {
+		socket int
+		want   float64
+		have   float64
+		vcpus  []int
+		next   int
+	}
+	buckets := make([]*bucket, 0, len(sockets))
+	for _, s := range sockets {
+		vcpus := drv.g.VCPUsOnSocket(s)
+		if len(vcpus) == 0 {
+			continue
+		}
+		buckets = append(buckets, &bucket{socket: s, want: targets[s] / sum * total, vcpus: vcpus})
+	}
+	if len(buckets) < 2 {
+		return
+	}
+	// Plan the proportional assignment, then apply it conservatively:
+	// at most one actual migration per update, preferring the process
+	// already farthest from its planned socket. Migration costs (cache
+	// warmth, CPU co-location) are real, so the distribution converges
+	// over a few update periods instead of thrashing.
+	var migrate *guest.Process
+	var migrateTo int
+	for _, p := range drv.g.Processes() {
+		if p.IOWeight <= 0 {
+			continue
+		}
+		var best *bucket
+		for _, b := range buckets {
+			if best == nil || b.want-b.have > best.want-best.have {
+				best = b
+			}
+		}
+		best.have += p.IOWeight
+		target := best.vcpus[best.next%len(best.vcpus)]
+		best.next++
+		if p.Socket() != best.socket && migrate == nil {
+			migrate = p
+			migrateTo = target
+		}
+	}
+	if migrate != nil {
+		migrate.MoveTo(migrateTo)
+		drv.rebalance++
+		drv.PublishWeights()
+	}
+}
+
+// String identifies the driver.
+func (drv *Driver) String() string {
+	return "iorchestra-driver(dom" + strconv.Itoa(int(drv.g.ID())) + ")"
+}

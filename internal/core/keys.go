@@ -1,0 +1,54 @@
+// Package core implements IOrchestra itself: the guest-side system-store
+// driver, the hypervisor-side monitoring and management modules, and the
+// three collaborative I/O policies the paper builds on top of them —
+// cross-domain dirty-page flush control (Sec. 3.1, Algorithm 1),
+// collaborative congestion control (Sec. 3.2, Algorithm 2), and
+// inter-domain I/O co-scheduling with dedicated polling cores (Sec. 3.3,
+// Algorithm 3).
+//
+// The control plane is ordinary Go code exchanging state through the
+// system store exactly as the prototype does through XenStore; only the
+// kernels it manages are simulated.
+package core
+
+import (
+	"fmt"
+
+	"iorchestra/internal/store"
+)
+
+// Store key suffixes, relative to /local/domain/<id>. The guest driver
+// creates every key it owns at registration time so that the management
+// module can write to guest-owned nodes (Dom0 always may) while the guest
+// retains the ability to reset them.
+const (
+	// Per-disk keys (under virt-dev/<disk>/).
+	keyHasDirty     = "has_dirty_pages"
+	keyNrDirty      = "nr_dirty"
+	keyFlushNow     = "flush_now"
+	keyCongestQuery = "congest_query"
+	keyCongested    = "congested"
+
+	// Per-domain keys.
+	keyReleaseRequest = "release_request"
+
+	// Co-scheduling keys (under io/).
+	keyWeightPrefix = "io/weight"       // io/weight/<socket> = W_SKT
+	keyTotalWeight  = "io/total_weight" // Σ P_l
+	keyVMShare      = "io/vm_share"     // S^(VM)_i
+	keySharePrefix  = "io/share"        // io/share/<socket> = S_SKT (mgmt)
+	keyTargetPrefix = "io/target"       // io/target/<socket> = weight fraction (mgmt)
+)
+
+// diskKey builds the relative path of a per-disk key.
+func diskKey(disk, key string) string { return "virt-dev/" + disk + "/" + key }
+
+// socketKey builds the relative path of a per-socket key.
+func socketKey(prefix string, socket int) string {
+	return fmt.Sprintf("%s/%d", prefix, socket)
+}
+
+// absDiskKey builds the absolute path of a per-disk key for a domain.
+func absDiskKey(dom store.DomID, disk, key string) string {
+	return store.DomainPath(dom) + "/" + diskKey(disk, key)
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+)
+
+// Policies selects which collaborative functions the manager runs; the
+// paper's ablation experiments enable them one at a time (Sec. 5.3–5.5).
+type Policies struct {
+	Flush      bool // Algorithm 1: cross-domain dirty-page flush control
+	Congestion bool // Algorithm 2: collaborative congestion control
+	Cosched    bool // Sec. 3.3: inter-domain I/O co-scheduling
+}
+
+// All enables every policy — the full IOrchestra configuration.
+func All() Policies { return Policies{Flush: true, Congestion: true, Cosched: true} }
+
+// ManagerConfig tunes the hypervisor-side modules.
+type ManagerConfig struct {
+	// FlushUtilFrac: flush when device bandwidth is below this fraction
+	// of capacity (paper: one tenth).
+	FlushUtilFrac float64
+	// FlushCheckInterval paces idle-bandwidth checks while dirty VMs exist.
+	FlushCheckInterval sim.Duration
+	// FlushTimeout abandons an unanswered flush_now.
+	FlushTimeout sim.Duration
+	// MinFlushBytes: do not bother a guest whose dirty set is smaller
+	// (avoids churning sync() for crumbs).
+	MinFlushBytes int64
+	// FlushCooldown spaces successive flush notices.
+	FlushCooldown sim.Duration
+	// CongestionCheckInterval paces host-relief checks while VMs are held.
+	CongestionCheckInterval sim.Duration
+	// ReleaseStaggerMax is the FIFO wake-up stagger bound (paper: 0–99 ms).
+	ReleaseStaggerMax sim.Duration
+	// CoschedInterval is the weight-update cadence (paper: every second).
+	CoschedInterval sim.Duration
+	// CoschedChangeFrac forces an early update when the core-latency
+	// ratio shifts by more than this fraction (paper: 50 %).
+	CoschedChangeFrac float64
+	// CoschedMinLatency gates process redistribution: below this on-core
+	// latency there is no contention worth rebalancing, and migrations
+	// would only disturb cache and CPU co-location.
+	CoschedMinLatency sim.Duration
+}
+
+func (c *ManagerConfig) fillDefaults() {
+	if c.FlushUtilFrac <= 0 {
+		c.FlushUtilFrac = 0.1
+	}
+	if c.FlushCheckInterval <= 0 {
+		c.FlushCheckInterval = 50 * sim.Millisecond
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = sim.Second
+	}
+	if c.MinFlushBytes <= 0 {
+		c.MinFlushBytes = 8 << 20
+	}
+	if c.FlushCooldown <= 0 {
+		c.FlushCooldown = 200 * sim.Millisecond
+	}
+	if c.CongestionCheckInterval <= 0 {
+		c.CongestionCheckInterval = 5 * sim.Millisecond
+	}
+	if c.ReleaseStaggerMax <= 0 {
+		c.ReleaseStaggerMax = 99 * sim.Millisecond
+	}
+	if c.CoschedInterval <= 0 {
+		c.CoschedInterval = sim.Second
+	}
+	if c.CoschedChangeFrac <= 0 {
+		c.CoschedChangeFrac = 0.5
+	}
+	if c.CoschedMinLatency <= 0 {
+		c.CoschedMinLatency = 150 * sim.Microsecond
+	}
+}
+
+type congEntry struct {
+	dom  store.DomID
+	disk string
+}
+
+type dirtyState struct {
+	nr       int64
+	hasDirty bool
+	lastGrow sim.Time
+}
+
+// Manager is the hypervisor side of IOrchestra: the monitoring module
+// (device and I/O-core sampling) plus the management module (policy
+// decisions published through the system store, Fig. 3).
+type Manager struct {
+	h   *hypervisor.Host
+	k   *sim.Kernel
+	st  *store.Store
+	rng *stats.Stream
+	pol Policies
+	cfg ManagerConfig
+
+	drivers map[store.DomID]*Driver
+
+	// Flush state (Algorithm 1).
+	dirty            map[store.DomID]map[string]*dirtyState
+	flushTimer       *sim.Event
+	outstandingDom   store.DomID
+	outstandingDisk  string
+	outstandingSince sim.Time
+	lastFlushNotice  sim.Time
+	flushNotices     uint64
+
+	// Congestion state (Algorithm 2).
+	held      []congEntry
+	congTimer *sim.Event
+	vetoes    uint64 // queries answered "not congested"
+	confirms  uint64 // queries answered "congested"
+	relieves  uint64 // VMs released on host relief
+
+	// Co-scheduling state (Sec. 3.3).
+	coschedTimer *sim.Event
+	lastRatio    float64
+	lastApply    sim.Time
+	coschedRuns  uint64
+	coschedOff   map[store.DomID]bool
+}
+
+// NewManager attaches IOrchestra's hypervisor modules to h with the given
+// policies. Guests must be enabled individually with EnableGuest after
+// their disks are attached.
+func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.Stream) *Manager {
+	cfg.fillDefaults()
+	m := &Manager{
+		h:          h,
+		k:          h.Kernel(),
+		st:         h.Store(),
+		rng:        rng,
+		pol:        pol,
+		cfg:        cfg,
+		drivers:    map[store.DomID]*Driver{},
+		dirty:      map[store.DomID]map[string]*dirtyState{},
+		coschedOff: map[store.DomID]bool{},
+	}
+	// The management module is called when there is a change on watched
+	// items (Fig. 3): one privileged watch over all domains.
+	m.st.Watch(store.Dom0, "/local/domain", m.onStoreEvent)
+	return m
+}
+
+// EnableGuest installs the guest driver for rt and registers it with the
+// manager. Returns the driver for inspection.
+func (m *Manager) EnableGuest(rt *hypervisor.GuestRuntime) *Driver {
+	drv := NewDriver(m.h, rt, m.rng.Fork("drv"+strconv.Itoa(int(rt.G.ID()))))
+	m.drivers[rt.G.ID()] = drv
+	if m.pol.Cosched {
+		m.armCosched()
+	}
+	return drv
+}
+
+// Driver returns the installed driver for a domain (nil if not enabled).
+func (m *Manager) Driver(dom store.DomID) *Driver { return m.drivers[dom] }
+
+// FlushNotices, Vetoes, Confirms, Relieves, CoschedRuns expose counters.
+func (m *Manager) FlushNotices() uint64 { return m.flushNotices }
+
+// Vetoes reports congestion queries answered "host not congested".
+func (m *Manager) Vetoes() uint64 { return m.vetoes }
+
+// Confirms reports congestion queries answered "host congested".
+func (m *Manager) Confirms() uint64 { return m.confirms }
+
+// Relieves reports VMs released when the host device left congestion.
+func (m *Manager) Relieves() uint64 { return m.relieves }
+
+// CoschedRuns reports co-scheduling weight updates applied.
+func (m *Manager) CoschedRuns() uint64 { return m.coschedRuns }
+
+// DisableCosched excludes one guest from co-scheduling decisions (weight
+// targets and quanta); ablation experiments use it to hold a guest's
+// process placement static on an otherwise identical platform.
+func (m *Manager) DisableCosched(dom store.DomID) { m.coschedOff[dom] = true }
+
+// --- Store event dispatch --------------------------------------------------
+
+// onStoreEvent parses /local/domain/<id>/<rel> and routes to policies.
+func (m *Manager) onStoreEvent(path, value string) {
+	const prefix = "/local/domain/"
+	if !strings.HasPrefix(path, prefix) {
+		return
+	}
+	rest := path[len(prefix):]
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return
+	}
+	id, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return
+	}
+	dom := store.DomID(id)
+	rel := rest[i+1:]
+	switch {
+	case strings.HasPrefix(rel, "virt-dev/"):
+		dr := rel[len("virt-dev/"):]
+		j := strings.IndexByte(dr, '/')
+		if j < 0 {
+			return
+		}
+		disk, key := dr[:j], dr[j+1:]
+		switch key {
+		case keyHasDirty:
+			if m.pol.Flush {
+				m.noteDirty(dom, disk, value == "1")
+			}
+		case keyNrDirty:
+			if m.pol.Flush {
+				if nr, err := strconv.ParseInt(value, 10, 64); err == nil {
+					m.noteNr(dom, disk, nr)
+				}
+			}
+		case keyCongestQuery:
+			if m.pol.Congestion && value == "1" {
+				m.handleCongestQuery(dom, disk)
+			}
+		case keyFlushNow:
+			if value == "0" && dom == m.outstandingDom && disk == m.outstandingDisk {
+				m.outstandingDom = 0 // guest answered; allow the next flush
+			}
+		}
+	case strings.HasPrefix(rel, keyWeightPrefix+"/") || rel == keyTotalWeight:
+		if m.pol.Cosched {
+			m.armCosched()
+		}
+	}
+}
+
+// --- Algorithm 1: policy for flushing dirty pages --------------------------
+
+func (m *Manager) noteDirty(dom store.DomID, disk string, has bool) {
+	byDisk := m.dirty[dom]
+	if byDisk == nil {
+		byDisk = map[string]*dirtyState{}
+		m.dirty[dom] = byDisk
+	}
+	ds := byDisk[disk]
+	if ds == nil {
+		ds = &dirtyState{}
+		byDisk[disk] = ds
+	}
+	ds.hasDirty = has
+	if !has {
+		ds.nr = 0
+	}
+	if has {
+		m.armFlush()
+	}
+}
+
+func (m *Manager) noteNr(dom store.DomID, disk string, nr int64) {
+	byDisk := m.dirty[dom]
+	if byDisk == nil {
+		return
+	}
+	if ds := byDisk[disk]; ds != nil {
+		if nr > ds.nr {
+			ds.lastGrow = m.k.Now()
+		}
+		ds.nr = nr
+	}
+}
+
+func (m *Manager) anyDirty() bool {
+	for _, byDisk := range m.dirty {
+		for _, ds := range byDisk {
+			if ds.hasDirty {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// armFlush schedules idle-bandwidth checks while dirty VMs exist — the
+// lazy-timer pattern keeps the event calendar empty when there is nothing
+// to do, matching the paper's "only reacts to certain system events".
+func (m *Manager) armFlush() {
+	if !m.pol.Flush || m.flushTimer != nil {
+		return
+	}
+	m.flushTimer = m.k.After(m.cfg.FlushCheckInterval, func() {
+		m.flushTimer = nil
+		m.flushTick()
+		if m.anyDirty() {
+			m.armFlush()
+		}
+	})
+}
+
+// flushTick is Algorithm 1's management branch: when the device has low
+// utilization, tell the guest with the most dirty pages to flush.
+func (m *Manager) flushTick() {
+	now := m.k.Now()
+	if m.outstandingDom != 0 {
+		if now-m.outstandingSince < m.cfg.FlushTimeout {
+			return
+		}
+		m.outstandingDom = 0
+	}
+	// Algorithm 1's trigger, taken literally: act only when the device
+	// moves less than one tenth of its capacity. A busy device means some
+	// VM is in a latency-sensitive phase — flushing now would hurt it.
+	dev := m.h.Device()
+	if dev.BandwidthBps(now) >= m.cfg.FlushUtilFrac*dev.CapacityBps() {
+		return
+	}
+	if m.flushNotices > 0 && now-m.lastFlushNotice < m.cfg.FlushCooldown {
+		return
+	}
+	// i = argmax_i nr_i over guests with dirty pages, skipping guests
+	// whose dirty set is still growing — they are mid-write-burst, and a
+	// sync() now would stall exactly the VM the policy is protecting.
+	var bestDom store.DomID
+	var bestDisk string
+	var bestNr int64 = -1
+	for dom, byDisk := range m.dirty {
+		for disk, ds := range byDisk {
+			if ds.hasDirty && ds.nr > bestNr && now-ds.lastGrow > 200*sim.Millisecond {
+				bestDom, bestDisk, bestNr = dom, disk, ds.nr
+			}
+		}
+	}
+	if bestNr < 0 || bestNr*4096 < m.cfg.MinFlushBytes {
+		return
+	}
+	m.flushNotices++
+	m.lastFlushNotice = now
+	m.outstandingDom, m.outstandingDisk, m.outstandingSince = bestDom, bestDisk, now
+	m.st.WriteBool(store.Dom0, absDiskKey(bestDom, bestDisk, keyFlushNow), true)
+}
+
+// --- Algorithm 2: policy for congestion control ----------------------------
+
+// handleCongestQuery answers a guest's congestion query: confirm when the
+// host device is genuinely overcrowded, otherwise release the guest.
+func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
+	// Reset the query flag so subsequent queries re-fire the watch.
+	m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongestQuery), false)
+	if m.h.IOCongested() {
+		m.confirms++
+		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongested), true)
+		for _, e := range m.held {
+			if e.dom == dom && e.disk == disk {
+				return
+			}
+		}
+		m.held = append(m.held, congEntry{dom: dom, disk: disk})
+		m.armCongestion()
+		return
+	}
+	m.vetoes++
+	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+}
+
+func (m *Manager) armCongestion() {
+	if m.congTimer != nil {
+		return
+	}
+	m.congTimer = m.k.After(m.cfg.CongestionCheckInterval, func() {
+		m.congTimer = nil
+		m.congestionTick()
+		if len(m.held) > 0 {
+			m.armCongestion()
+		}
+	})
+}
+
+// congestionTick is Algorithm 2's relief branch: once the host device is
+// no longer congested, release held VMs in FIFO order, interleaved with a
+// random 0–99 ms stagger.
+func (m *Manager) congestionTick() {
+	if len(m.held) == 0 || m.h.IOCongested() {
+		return
+	}
+	var offset sim.Duration
+	for _, e := range m.held {
+		dom := e.dom
+		m.relieves++
+		m.k.After(offset, func() {
+			m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+		})
+		offset += sim.Duration(m.rng.Int63n(int64(m.cfg.ReleaseStaggerMax)))
+	}
+	m.held = m.held[:0]
+}
+
+// --- Sec. 3.3: inter-domain I/O co-scheduling -------------------------------
+
+func (m *Manager) armCosched() {
+	if !m.pol.Cosched || m.coschedTimer != nil {
+		return
+	}
+	// Sample faster than the apply cadence so the >50 %-change trigger
+	// can fire early, as the paper specifies.
+	period := m.cfg.CoschedInterval / 5
+	if period <= 0 {
+		period = 200 * sim.Millisecond
+	}
+	m.coschedTimer = m.k.After(period, func() {
+		m.coschedTimer = nil
+		active := m.coschedTick()
+		if active {
+			m.armCosched()
+		}
+	})
+}
+
+// coschedTick samples per-core latencies, publishes redistribution targets
+// for cross-socket VMs, computes per-VM per-socket I/O shares, and applies
+// DRR quanta and cgroup weights. It reports whether co-scheduling should
+// keep sampling (any I/O-core traffic or cross-socket guests present).
+func (m *Manager) coschedTick() bool {
+	cores := m.h.IOCores()
+	now := m.k.Now()
+	if len(cores) == 0 || len(m.drivers) == 0 {
+		return false
+	}
+	// Monitoring module: collect L_i per core.
+	lat := make([]float64, len(cores))
+	var anyTraffic bool
+	for i, c := range cores {
+		lat[i] = c.MeanLatency(now)
+		if c.Processed() > 0 {
+			anyTraffic = true
+		}
+	}
+	// Change detection on the max/min latency ratio.
+	ratio := maxOf(lat) / minOf(lat)
+	due := now-m.lastApply >= m.cfg.CoschedInterval
+	changed := m.lastRatio > 0 && relDelta(ratio, m.lastRatio) > m.cfg.CoschedChangeFrac
+	if !due && !changed {
+		return anyTraffic || m.crossSocketGuestExists()
+	}
+	m.lastApply = now
+	m.lastRatio = ratio
+	m.coschedRuns++
+
+	// Weight targets: fraction on socket i ∝ 1/L_i (the paper's inverse-
+	// proportional distribution). Published only when some core is
+	// genuinely contended; otherwise placement is left alone.
+	var invSum float64
+	for _, l := range lat {
+		invSum += 1 / l
+	}
+	contended := maxOf(lat) >= m.cfg.CoschedMinLatency.Seconds()
+	for dom, drv := range m.drivers {
+		if !contended || len(drv.g.Sockets()) < 2 || m.coschedOff[dom] {
+			continue
+		}
+		for _, s := range drv.g.Sockets() {
+			if s >= 0 && s < len(lat) {
+				f := (1 / lat[s]) / invSum
+				// Keep every socket carrying some share so the
+				// distribution converges instead of oscillating between
+				// extremes.
+				if f < 0.1 {
+					f = 0.1
+				}
+				if f > 0.9 {
+					f = 0.9
+				}
+				m.st.WriteFloat(store.Dom0, store.DomainPath(dom)+"/"+socketKey(keyTargetPrefix, s), f)
+			}
+		}
+	}
+
+	// Shares: S_SKT = W_SKT / ΣP · S^(VM); equal S^(VM) across enabled
+	// guests unless overridden in the store.
+	nGuests := len(m.drivers)
+	bwMax := m.h.Device().CapacityBps()
+	type coreShare struct{ sum float64 }
+	shares := make([]coreShare, len(cores))
+	for dom, drv := range m.drivers {
+		if m.coschedOff[dom] {
+			continue
+		}
+		base := store.DomainPath(dom)
+		vmShare, _ := m.st.ReadFloat(store.Dom0, base+"/"+keyVMShare, 1.0/float64(nGuests))
+		totalW, _ := m.st.ReadFloat(store.Dom0, base+"/"+keyTotalWeight, 0)
+		if totalW <= 0 {
+			continue
+		}
+		for _, s := range drv.g.Sockets() {
+			w, _ := m.st.ReadFloat(store.Dom0, base+"/"+socketKey(keyWeightPrefix, s), 0)
+			sSkt := w / totalW * vmShare
+			m.st.WriteFloat(store.Dom0, base+"/"+socketKey(keySharePrefix, s), sSkt)
+			if s >= 0 && s < len(cores) {
+				// Q_i = BWmax · S_SKT, scaled to a 1 ms round.
+				cores[s].SetQuantum(dom, bwMax*sSkt/1000)
+				shares[s].sum += sSkt
+			}
+		}
+	}
+	// The sum of shares on a socket is its I/O core's weight at the
+	// device (Sec. 3.3: "cgroups with these I/O cores' weights").
+	for i, c := range cores {
+		w := shares[i].sum
+		if w <= 0 {
+			w = 0.01
+		}
+		m.h.Cgroup().SetWeight(c.ID(), w)
+	}
+	return anyTraffic || m.crossSocketGuestExists()
+}
+
+func (m *Manager) crossSocketGuestExists() bool {
+	for _, drv := range m.drivers {
+		if len(drv.g.Sockets()) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func maxOf(xs []float64) float64 {
+	v := xs[0]
+	for _, x := range xs[1:] {
+		if x > v {
+			v = x
+		}
+	}
+	return v
+}
+
+func minOf(xs []float64) float64 {
+	v := xs[0]
+	for _, x := range xs[1:] {
+		if x < v {
+			v = x
+		}
+	}
+	return v
+}
+
+func relDelta(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return 0
+	}
+	return d / b
+}

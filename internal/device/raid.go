@@ -1,0 +1,193 @@
+package device
+
+import (
+	"fmt"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// RAID0 stripes requests across member devices. It matches the paper's
+// testbed volume: eight SSDs in RAID0 behind a single block device.
+type RAID0 struct {
+	k          *sim.Kernel
+	name       string
+	members    []BlockDevice
+	stripeSize int64
+	next       int // round-robin start member for successive requests
+}
+
+// NewRAID0 assembles members into a striped array with the given stripe
+// unit (bytes). Typical stripe units are 64–512 KiB.
+func NewRAID0(k *sim.Kernel, name string, members []BlockDevice, stripeSize int64) *RAID0 {
+	if len(members) == 0 {
+		panic("device: RAID0 with no members")
+	}
+	if stripeSize <= 0 {
+		stripeSize = 256 << 10
+	}
+	return &RAID0{k: k, name: name, members: members, stripeSize: stripeSize}
+}
+
+// PaperArray builds the evaluation platform's storage: eight Intel 520
+// SSDs in RAID0 with a 256 KiB stripe.
+func PaperArray(k *sim.Kernel, rng *stats.Stream) *RAID0 {
+	members := make([]BlockDevice, 8)
+	for i := range members {
+		cfg := Intel520Config(fmt.Sprintf("ssd%d", i))
+		members[i] = NewSSD(k, cfg, rng.Fork(cfg.Name))
+	}
+	return NewRAID0(k, "md0", members, 256<<10)
+}
+
+// Name implements BlockDevice.
+func (a *RAID0) Name() string { return a.name }
+
+// Members exposes the member devices (read-only use).
+func (a *RAID0) Members() []BlockDevice { return a.members }
+
+// CapacityBps implements BlockDevice as the sum of member capacities.
+func (a *RAID0) CapacityBps() float64 {
+	var sum float64
+	for _, m := range a.members {
+		sum += m.CapacityBps()
+	}
+	return sum
+}
+
+// QueueLimit implements BlockDevice as the sum of member limits.
+func (a *RAID0) QueueLimit() int {
+	n := 0
+	for _, m := range a.members {
+		n += m.QueueLimit()
+	}
+	return n
+}
+
+// Pending implements BlockDevice.
+func (a *RAID0) Pending() int {
+	n := 0
+	for _, m := range a.members {
+		n += m.Pending()
+	}
+	return n
+}
+
+// Congested implements BlockDevice: the array is congested when its
+// aggregate queue crosses the 7/8 threshold, the same rule Linux applies
+// to the md device's own queue.
+func (a *RAID0) Congested() bool {
+	return a.Pending() >= a.QueueLimit()*CongestedOnNum/CongestedOnDen
+}
+
+// Idle implements BlockDevice.
+func (a *RAID0) Idle() bool {
+	for _, m := range a.members {
+		if !m.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// BandwidthBps implements BlockDevice.
+func (a *RAID0) BandwidthBps(now sim.Time) float64 {
+	var sum float64
+	for _, m := range a.members {
+		sum += m.BandwidthBps(now)
+	}
+	return sum
+}
+
+// UtilFraction implements BlockDevice as the mean member utilization.
+func (a *RAID0) UtilFraction(now sim.Time) float64 {
+	var sum float64
+	for _, m := range a.members {
+		sum += m.UtilFraction(now)
+	}
+	return sum / float64(len(a.members))
+}
+
+// Submit implements BlockDevice: the request is split at stripe-unit
+// boundaries round-robin across members; Done fires when the last chunk
+// completes.
+func (a *RAID0) Submit(r *Request) {
+	r.Submitted = a.k.Now()
+	nChunks := int((r.Size + a.stripeSize - 1) / a.stripeSize)
+	if nChunks <= 1 {
+		m := a.members[a.next]
+		a.next = (a.next + 1) % len(a.members)
+		m.Submit(&Request{
+			Op: r.Op, Size: r.Size, Sequential: r.Sequential,
+			Owner: r.Owner, Done: r.Done,
+		})
+		return
+	}
+	remaining := nChunks
+	done := func() {
+		remaining--
+		if remaining == 0 && r.Done != nil {
+			r.Done()
+		}
+	}
+	size := r.Size
+	start := a.next
+	a.next = (a.next + nChunks) % len(a.members)
+	for i := 0; i < nChunks; i++ {
+		chunk := a.stripeSize
+		if size < chunk {
+			chunk = size
+		}
+		size -= chunk
+		m := a.members[(start+i)%len(a.members)]
+		m.Submit(&Request{
+			Op: r.Op, Size: chunk, Sequential: r.Sequential,
+			Owner: r.Owner, Done: done,
+		})
+	}
+}
+
+// HDDConfig parameterizes a rotating-disk model, provided as an
+// alternative substrate (the paper's congestion examples generalize to
+// disks, where falsely triggered avoidance is even more costly).
+type HDDConfig struct {
+	Name       string
+	SeqBps     float64      // sustained transfer rate
+	AvgSeek    sim.Duration // average seek+rotational delay
+	QueueLimit int
+	JitterFrac float64
+}
+
+// DefaultHDDConfig models a 7200 RPM SATA disk.
+func DefaultHDDConfig(name string) HDDConfig {
+	return HDDConfig{
+		Name:       name,
+		SeqBps:     150e6,
+		AvgSeek:    8 * sim.Millisecond,
+		QueueLimit: DefaultQueueLimit,
+		JitterFrac: 0.3,
+	}
+}
+
+// HDD is a single-actuator rotating disk: one request in service at a
+// time, seeks dominate random access.
+type HDD struct {
+	*SSD // reuse the queue/accounting machinery with HDD-shaped parameters
+}
+
+// NewHDD builds a rotating-disk model.
+func NewHDD(k *sim.Kernel, cfg HDDConfig, rng *stats.Stream) *HDD {
+	ssdCfg := SSDConfig{
+		Name:        cfg.Name,
+		SeqReadBps:  cfg.SeqBps,
+		SeqWriteBps: cfg.SeqBps,
+		// A disk's random IOPS is 1/seek-time.
+		RandReadIOPS:        1 / cfg.AvgSeek.Seconds(),
+		RandWriteIOPS:       1 / cfg.AvgSeek.Seconds(),
+		AccessLatency:       cfg.AvgSeek / 4, // track-to-track component on sequential runs
+		InternalParallelism: 1,
+		QueueLimit:          cfg.QueueLimit,
+		JitterFrac:          cfg.JitterFrac,
+	}
+	return &HDD{SSD: NewSSD(k, ssdCfg, rng)}
+}

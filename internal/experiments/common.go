@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5) plus the Sec. 2 motivation test. Each experiment is
+// a pure function of (scale, seed): it builds fresh platforms, runs the
+// scenario once per system under test, and returns the series the paper
+// plots. Independent simulation points fan out over a worker pool sized
+// to GOMAXPROCS — the kernels share nothing.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"iorchestra/internal/sim"
+)
+
+// Scale selects run length: Quick for CI-speed smoke numbers, Full for
+// report-quality curves (still shorter than the paper's hour-long runs;
+// EXPERIMENTS.md documents the scaling).
+type Scale int
+
+const (
+	// Quick runs seconds of virtual time per point.
+	Quick Scale = iota
+	// Full runs the report-quality durations.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// pick returns q for Quick and f for Full.
+func (s Scale) pick(q, f sim.Duration) sim.Duration {
+	if s == Quick {
+		return q
+	}
+	return f
+}
+
+// Series is one plotted line: Y value per X.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders aligned series sharing an X axis.
+func SeriesTable(title, xName string, series []Series, format string) *Table {
+	t := &Table{Title: title}
+	t.Header = append(t.Header, xName)
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i, x := range series[0].X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf(format, s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// parallelMap runs fn over n indices on a bounded worker pool and
+// collects results in order. Each index builds its own simulation, so the
+// work is embarrassingly parallel.
+func parallelMap[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// improvement reports (base-x)/base as a percentage (positive = better
+// when smaller is better, e.g. latency).
+func improvement(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - x) / base * 100
+}
+
+// gain reports (x-base)/base as a percentage (positive = better when
+// larger is better, e.g. throughput).
+func gain(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (x - base) / base * 100
+}
+
+// meanOf averages ys.
+func meanOf(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, y := range ys {
+		s += y
+	}
+	return s / float64(len(ys))
+}
+
+// Registry maps experiment ids to runners so cmd/experiments can select
+// them by name.
+type Runner struct {
+	ID       string
+	Describe string
+	Run      func(scale Scale, seed uint64) []*Table
+}
+
+var registry []Runner
+
+func register(r Runner) { registry = append(registry, r) }
+
+// Runners lists registered experiments sorted by id.
+func Runners() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds a runner by id (nil if absent).
+func Lookup(id string) *Runner {
+	for i := range registry {
+		if registry[i].ID == id {
+			return &registry[i]
+		}
+	}
+	return nil
+}

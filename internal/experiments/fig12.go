@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iorchestra"
+	"iorchestra/internal/apps"
+	"iorchestra/internal/core"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/workload"
+)
+
+// RunFig12 reproduces the bursty-write experiment (Sec. 5.6): YCSB1
+// against a two-node Cassandra store with skewed inter-arrival times —
+// synchronized bursts at 10× the average rate, 50 ms and 100 ms burst
+// lengths — across all four systems, reporting p99.9 latency versus the
+// average request rate.
+func RunFig12(scale Scale, seed uint64) []*Table {
+	rates := []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	if scale == Quick {
+		rates = []float64{200, 400, 600, 800, 1000}
+	}
+	bursts := []sim.Duration{50 * sim.Millisecond, 100 * sim.Millisecond}
+	dur := scale.pick(40*sim.Second, 120*sim.Second)
+	systems := iorchestra.Systems()
+
+	type job struct {
+		bi, ri, si int
+	}
+	var jobs []job
+	for bi := range bursts {
+		for ri := range rates {
+			for si := range systems {
+				jobs = append(jobs, job{bi, ri, si})
+			}
+		}
+	}
+	const reps = 2
+	results := parallelMap(len(jobs), func(ji int) float64 {
+		j := jobs[ji]
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			sum += runFig12Point(systems[j.si], seed+uint64(rep)*1000, rates[j.ri], bursts[j.bi], dur)
+		}
+		return sum / reps
+	})
+
+	var tables []*Table
+	for bi, b := range bursts {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 12: YCSB1 p99.9 latency (us), %v burst length", b),
+			Header: []string{"req/s", "Baseline", "SDC", "DIF", "IOrchestra"},
+		}
+		var imps []float64
+		for ri, r := range rates {
+			row := []string{fmt.Sprintf("%g", r)}
+			var base, io float64
+			for ji, j := range jobs {
+				if j.bi == bi && j.ri == ri {
+					v := results[ji]
+					row = append(row, fmt.Sprintf("%.0f", v))
+					switch systems[j.si] {
+					case iorchestra.SystemBaseline:
+						base = v
+					case iorchestra.SystemIOrchestra:
+						io = v
+					}
+				}
+			}
+			imps = append(imps, improvement(base, io))
+			t.Rows = append(t.Rows, row)
+		}
+		t.Rows = append(t.Rows, []string{"avg impr", fmt.Sprintf("%.1f%%", meanOf(imps)), "", "", ""})
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// runFig12Point returns YCSB1 p99.9 latency in microseconds under bursty
+// arrivals.
+func runFig12Point(sys iorchestra.System, seed uint64, rate float64, burst sim.Duration, dur sim.Duration) float64 {
+	p := iorchestra.NewPlatform(sys, seed,
+		// Under half-second burst cycles the flush policy must be
+		// conservative: sizeable piles only, well spaced, so sync storms
+		// never straddle the next burst.
+		iorchestra.WithManagerConfig(core.ManagerConfig{
+			MinFlushBytes: 24 << 20,
+			FlushCooldown: sim.Second,
+		}))
+	var nodes []*apps.CassandraNode
+	for i := 0; i < 2; i++ {
+		vm := p.NewVM(2, 4, cassandraDisk())
+		nodes = append(nodes, apps.NewCassandraNode(p.Kernel, vm.G, vm.G.Disks()[0],
+			apps.CassandraConfig{}, p.Rng.Fork(fmt.Sprintf("node%d", i))))
+	}
+	cl := apps.NewCassandraCluster(p.Kernel, nodes, p.Rng.Fork("cl"))
+	run := workload.NewYCSBBursty(p.Kernel, workload.YCSB1(), cl, rate,
+		burst, 500*sim.Millisecond, 0, p.Rng.Fork("gen"))
+	run.Gen.Start()
+	p.Kernel.RunUntil(dur)
+	return run.Rec.Latency.Percentile(99.9).Microseconds()
+}
+
+func init() {
+	register(Runner{
+		ID:       "fig12",
+		Describe: "Bursty YCSB1 p99.9 latency at 50/100 ms burst lengths, four systems",
+		Run:      RunFig12,
+	})
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iorchestra"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/workload"
+)
+
+// RunFig8 reproduces the dirty-page flushing experiment (Sec. 5.3):
+// 2–20 single-VCPU/1 GB VMs run the FileBench fileserver with working
+// sets larger than twice their memory, at dirty ratios of 10–40 %. Only
+// the flush policy is enabled; the figure reports write-throughput
+// improvement over the baseline.
+func RunFig8(scale Scale, seed uint64) []*Table {
+	vmCounts := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	ratios := []float64{0.10, 0.20, 0.30, 0.40}
+	if scale == Quick {
+		vmCounts = []int{2, 8, 14, 20}
+	}
+	dur := scale.pick(60*sim.Second, 240*sim.Second)
+
+	type job struct {
+		vmIdx, ratioIdx int
+		io              bool
+	}
+	var jobs []job
+	for vi := range vmCounts {
+		for ri := range ratios {
+			jobs = append(jobs, job{vi, ri, false}, job{vi, ri, true})
+		}
+	}
+	const reps = 3
+	results := parallelMap(len(jobs), func(ji int) float64 {
+		j := jobs[ji]
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			sum += runFig8Point(j.io, seed+uint64(rep)*1000, vmCounts[j.vmIdx], ratios[j.ratioIdx], dur)
+		}
+		return sum / reps
+	})
+
+	t := &Table{
+		Title:  "Fig 8: FS write-throughput improvement (flush policy only)",
+		Header: []string{"VMs", "10%", "20%", "30%", "40%"},
+	}
+	var all []float64
+	for vi, n := range vmCounts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for ri := range ratios {
+			var base, io float64
+			for ji, j := range jobs {
+				if j.vmIdx == vi && j.ratioIdx == ri {
+					if j.io {
+						io = results[ji]
+					} else {
+						base = results[ji]
+					}
+				}
+			}
+			g := gain(base, io)
+			all = append(all, g)
+			row = append(row, fmt.Sprintf("%.1f%%", g))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{"mean", fmt.Sprintf("%.1f%%", meanOf(all)), "", "", ""})
+	return []*Table{t}
+}
+
+// runFig8Point returns aggregate FS write throughput (bytes accepted per
+// second of virtual time).
+func runFig8Point(iorch bool, seed uint64, vms int, dirtyRatio float64, dur sim.Duration) float64 {
+	sys := iorchestra.SystemBaseline
+	if iorch {
+		sys = iorchestra.SystemIOrchestra
+	}
+	p := iorchestra.NewPlatform(sys, seed,
+		iorchestra.WithPolicies(iorchestra.Policies{Flush: true}))
+	var gens []*workload.FS
+	for i := 0; i < vms; i++ {
+		rt := p.NewVM(1, 1, guest.DiskConfig{
+			Name: "xvda",
+			CacheConfig: pagecache.Config{
+				TotalPages:      (1 << 30) / pagecache.PageSize,
+				DirtyRatio:      dirtyRatio,
+				BackgroundRatio: dirtyRatio / 2,
+				WritebackWindow: 64,
+			},
+		})
+		fs := workload.NewFS(p.Kernel, rt.G, rt.G.Disks()[0],
+			workload.FSConfig{
+				Threads:      2,
+				MeanFileSize: 1 << 20,
+				Think:        6 * sim.Millisecond,
+				WriteFrac:    0.8, AppendFrac: 0.1, ReadFrac: 0.05,
+				BurstOn:  1500 * sim.Millisecond,
+				BurstOff: 3500 * sim.Millisecond,
+			}, p.Rng.Fork(fmt.Sprintf("fs%d", i)))
+		gens = append(gens, fs)
+	}
+	for _, g := range gens {
+		g.Start()
+	}
+	p.Kernel.RunUntil(dur)
+	var total float64
+	for _, g := range gens {
+		total += g.WrittenBytes()
+	}
+	return total / dur.Seconds()
+}
+
+func init() {
+	register(Runner{
+		ID:       "fig8",
+		Describe: "FS write-throughput improvement vs VM count and dirty ratio (flush policy)",
+		Run:      RunFig8,
+	})
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are returned by the scheduling
+// methods so that callers can cancel them; a zero Event is never returned.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. The zero value is ready
+// to use at time zero. Kernel is not safe for concurrent use; each
+// simulation owns exactly one goroutine.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// executed counts dispatched (non-canceled) events, for tests and
+	// runaway detection.
+	executed uint64
+}
+
+// NewKernel returns a kernel positioned at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have been dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are queued (including canceled ones not
+// yet discarded).
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, and silently clamping would hide causality
+// violations.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil fn")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (k *Kernel) After(d Duration, fn func()) *Event { return k.At(k.now+d, fn) }
+
+// Cancel removes e from the calendar if it has not yet fired. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&k.events, e.index)
+		e.index = -1
+	}
+	e.fn = nil
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving FIFO
+// fairness at the new instant (it is assigned a fresh sequence number). If
+// the event already fired or was canceled, Reschedule schedules nothing and
+// returns false.
+func (k *Kernel) Reschedule(e *Event, t Time) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: rescheduling at %v, before now %v", t, k.now))
+	}
+	e.at = t
+	e.seq = k.seq
+	k.seq++
+	heap.Fix(&k.events, e.index)
+	return true
+}
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It reports false when the calendar is empty or the kernel has
+// been stopped.
+func (k *Kernel) Step() bool {
+	for {
+		if k.stopped || len(k.events) == 0 {
+			return false
+		}
+		e := heap.Pop(&k.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.executed++
+		fn()
+		return true
+	}
+}
+
+// Run dispatches events until the calendar is empty or Stop is called.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the clock
+// to exactly t (if the simulation has not been stopped earlier). Events
+// scheduled beyond t remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	for !k.stopped && len(k.events) > 0 {
+		next := k.events[0]
+		if next.canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// Stop halts the run loop after the current event completes. Further Step
+// calls return false. Stop is idempotent.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Every schedules fn at now+d, then every d thereafter, until the returned
+// Ticker is stopped. fn observes the tick time via Kernel.Now.
+func (k *Kernel) Every(d Duration, fn func()) *Ticker {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{k: k, period: d, fn: fn}
+	t.ev = k.After(d, t.tick)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time period.
+type Ticker struct {
+	k       *Kernel
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped us
+		t.ev = t.k.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks. Safe to call multiple times and from within
+// the tick callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.k.Cancel(t.ev)
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaitQueueFIFOWake(t *testing.T) {
+	k := NewKernel()
+	q := NewWaitQueue(k)
+	var order []int
+	k.At(1, func() {
+		for i := 0; i < 3; i++ {
+			i := i
+			q.Wait(func() { order = append(order, i) })
+		}
+	})
+	k.At(2, func() {
+		q.WakeOne(0)
+		q.WakeOne(0)
+		q.WakeOne(0)
+	})
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitQueueWakeOneEmpty(t *testing.T) {
+	k := NewKernel()
+	q := NewWaitQueue(k)
+	if q.WakeOne(0) {
+		t.Fatal("WakeOne on empty queue returned true")
+	}
+}
+
+func TestWaitQueueWakeAllStagger(t *testing.T) {
+	k := NewKernel()
+	q := NewWaitQueue(k)
+	var times []Time
+	k.At(10, func() {
+		for i := 0; i < 4; i++ {
+			q.Wait(func() { times = append(times, k.Now()) })
+		}
+		if n := q.WakeAll(5, 2); n != 4 {
+			t.Errorf("WakeAll = %d, want 4", n)
+		}
+	})
+	k.Run()
+	want := []Time{15, 17, 19, 21}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after WakeAll, want 0", q.Len())
+	}
+}
+
+func TestWaitQueueWakeNonReentrant(t *testing.T) {
+	k := NewKernel()
+	q := NewWaitQueue(k)
+	stage := 0
+	k.At(1, func() {
+		q.Wait(func() {
+			if stage != 1 {
+				t.Error("waiter ran reentrantly inside waker")
+			}
+		})
+		q.WakeOne(0)
+		stage = 1
+	})
+	k.Run()
+}
+
+func TestFIFOPushPopOrder(t *testing.T) {
+	f := NewFIFO[int](0)
+	for i := 0; i < 10; i++ {
+		if !f.Push(i) {
+			t.Fatalf("Push(%d) on unbounded queue failed", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop() = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+}
+
+func TestFIFOBounded(t *testing.T) {
+	f := NewFIFO[string](2)
+	if !f.Push("a") || !f.Push("b") {
+		t.Fatal("pushes under capacity failed")
+	}
+	if f.Push("c") {
+		t.Fatal("push over capacity succeeded")
+	}
+	if !f.Full() {
+		t.Fatal("Full() = false at capacity")
+	}
+	if v, ok := f.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek() = %q,%v", v, ok)
+	}
+	f.Pop()
+	if f.Full() {
+		t.Fatal("Full() = true after Pop")
+	}
+}
+
+func TestFIFODrain(t *testing.T) {
+	f := NewFIFO[int](0)
+	f.Push(1)
+	f.Push(2)
+	got := f.Drain()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Drain() = %v", got)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len() = %d after Drain", f.Len())
+	}
+}
+
+// Property: a FIFO behaves like a slice under any push/pop sequence.
+func TestPropertyFIFOMatchesSlice(t *testing.T) {
+	f := func(ops []bool, vals []int) bool {
+		q := NewFIFO[int](0)
+		var model []int
+		vi := 0
+		for _, push := range ops {
+			if push {
+				v := 0
+				if vi < len(vals) {
+					v = vals[vi]
+					vi++
+				}
+				q.Push(v)
+				model = append(model, v)
+			} else {
+				got, ok := q.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is a classic event-calendar design: callbacks are scheduled at
+// virtual timestamps and executed in (time, sequence) order, which gives a
+// deterministic total order for events scheduled at the same instant. All
+// model code in this repository — guest OS I/O stacks, devices, the
+// hypervisor, and workload generators — runs on top of this kernel, while
+// the IOrchestra control plane (store, bus, policies) is ordinary Go code
+// that happens to be driven by simulated callbacks.
+//
+// The kernel itself is strictly single-threaded. Parallelism in experiment
+// sweeps is obtained by running many independent Kernel instances across a
+// worker pool (see internal/experiments), each seeded independently, so
+// every replication remains reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in nanoseconds since the start
+// of the simulation. It is deliberately a distinct type from time.Duration
+// so that wall-clock values cannot be mixed into the simulation by accident.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Forever is a sentinel time later than any reachable simulation instant.
+const Forever Time = 1<<63 - 1
+
+// String renders a Time with an adaptive unit, for logs and test failures.
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// DurationOf converts floating-point seconds to a Duration, saturating at
+// Forever for non-finite or overflowing inputs.
+func DurationOf(seconds float64) Duration {
+	ns := seconds * float64(Second)
+	if !(ns < float64(Forever)) { // catches +Inf and NaN
+		return Forever
+	}
+	if ns < 0 {
+		return 0
+	}
+	return Duration(ns)
+}

@@ -1,0 +1,438 @@
+// Package store implements the IOrchestra system store: a hierarchical,
+// permission-checked key-value store with watches, equivalent to XenStore
+// as the paper uses it (Sec. 3 and 4).
+//
+// Every domain registers configuration under /local/domain/<domid>/...;
+// each VM may only access its own subtree while the hypervisor (domain 0)
+// has access to everything. Watches deliver change notifications through
+// the simulation kernel with a configurable notification latency, modelling
+// the XenBus round trip; the store logic itself is ordinary control-plane
+// code with no knowledge of the simulator beyond the clock.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"iorchestra/internal/sim"
+)
+
+// DomID identifies a domain. Domain 0 is the privileged control domain
+// (the hypervisor/driver domain in the paper's architecture).
+type DomID int
+
+// Dom0 is the privileged control domain.
+const Dom0 DomID = 0
+
+// Perm is an access level a domain holds on a node.
+type Perm uint8
+
+const (
+	// PermNone grants nothing.
+	PermNone Perm = iota
+	// PermRead grants read access.
+	PermRead
+	// PermWrite grants write access (implies read, as in XenStore's "b").
+	PermWrite
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoEntry    = errors.New("store: no such entry")
+	ErrPermission = errors.New("store: permission denied")
+	ErrConflict   = errors.New("store: transaction conflict")
+	ErrBadPath    = errors.New("store: malformed path")
+)
+
+type node struct {
+	value    string
+	owner    DomID
+	perms    map[DomID]Perm // explicit grants beyond owner and Dom0
+	children map[string]*node
+	version  uint64
+}
+
+func (n *node) child(name string) *node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[name]
+}
+
+// WatchID identifies a registered watch.
+type WatchID int
+
+type watch struct {
+	id     WatchID
+	dom    DomID
+	prefix []string
+	fn     func(path, value string)
+}
+
+// Store is the system store. Create with New.
+type Store struct {
+	k             *sim.Kernel
+	root          *node
+	watches       map[WatchID]*watch
+	nextWatch     WatchID
+	notifyLatency sim.Duration
+	version       uint64
+
+	// Stats counters exposed for overhead accounting.
+	reads, writes, notifies uint64
+}
+
+// New returns an empty store bound to kernel k. notifyLatency is the delay
+// between a write and delivery of watch callbacks (the XenBus event-channel
+// round trip; tens of microseconds on the paper's hardware).
+func New(k *sim.Kernel, notifyLatency sim.Duration) *Store {
+	return &Store{
+		k:             k,
+		root:          &node{owner: Dom0},
+		watches:       map[WatchID]*watch{},
+		notifyLatency: notifyLatency,
+	}
+}
+
+// split validates and tokenizes a path like /local/domain/3/virt-dev/xvda.
+func split(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// DomainPath returns the canonical subtree root for a domain, mirroring
+// XenStore's /local/domain/<domid>.
+func DomainPath(dom DomID) string {
+	return "/local/domain/" + strconv.Itoa(int(dom))
+}
+
+// AddDomain creates the /local/domain/<dom> home directory owned by dom,
+// the step the toolstack performs at domain creation in Xen. Without it a
+// guest has nowhere it is allowed to write.
+func (s *Store) AddDomain(dom DomID) {
+	n := s.root
+	for _, p := range []string{"local", "domain"} {
+		child := n.child(p)
+		if child == nil {
+			child = &node{owner: Dom0}
+			if n.children == nil {
+				n.children = map[string]*node{}
+			}
+			n.children[p] = child
+		}
+		n = child
+	}
+	name := strconv.Itoa(int(dom))
+	if n.child(name) == nil {
+		if n.children == nil {
+			n.children = map[string]*node{}
+		}
+		n.children[name] = &node{owner: dom}
+	}
+}
+
+func (s *Store) lookup(parts []string) *node {
+	n := s.root
+	for _, p := range parts {
+		n = n.child(p)
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// canRead reports whether dom may read node n. Dom0 reads everything; the
+// owner reads its own nodes; explicit grants extend access.
+func canRead(n *node, dom DomID) bool {
+	if dom == Dom0 || n.owner == dom {
+		return true
+	}
+	return n.perms[dom] >= PermRead
+}
+
+func canWrite(n *node, dom DomID) bool {
+	if dom == Dom0 || n.owner == dom {
+		return true
+	}
+	return n.perms[dom] >= PermWrite
+}
+
+// Read returns the value at path on behalf of dom.
+func (s *Store) Read(dom DomID, path string) (string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return "", err
+	}
+	n := s.lookup(parts)
+	if n == nil {
+		return "", fmt.Errorf("%w: %s", ErrNoEntry, path)
+	}
+	if !canRead(n, dom) {
+		return "", fmt.Errorf("%w: dom%d reading %s", ErrPermission, dom, path)
+	}
+	s.reads++
+	return n.value, nil
+}
+
+// Write sets the value at path on behalf of dom, creating intermediate
+// nodes owned by dom as needed. Writing to another domain's subtree
+// requires an explicit write grant on the closest existing ancestor.
+func (s *Store) Write(dom DomID, path, value string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot write root", ErrBadPath)
+	}
+	n := s.root
+	for _, p := range parts {
+		child := n.child(p)
+		if child == nil {
+			if !canWrite(n, dom) {
+				return fmt.Errorf("%w: dom%d creating under %s", ErrPermission, dom, path)
+			}
+			child = &node{owner: dom}
+			if n.children == nil {
+				n.children = map[string]*node{}
+			}
+			n.children[p] = child
+		}
+		n = child
+	}
+	if !canWrite(n, dom) {
+		return fmt.Errorf("%w: dom%d writing %s", ErrPermission, dom, path)
+	}
+	s.version++
+	n.value = value
+	n.version = s.version
+	s.writes++
+	s.fireWatches(path, value)
+	return nil
+}
+
+// Remove deletes the node at path (and its subtree) on behalf of dom.
+func (s *Store) Remove(dom DomID, path string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot remove root", ErrBadPath)
+	}
+	parent := s.lookup(parts[:len(parts)-1])
+	if parent == nil {
+		return fmt.Errorf("%w: %s", ErrNoEntry, path)
+	}
+	name := parts[len(parts)-1]
+	n := parent.child(name)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoEntry, path)
+	}
+	if !canWrite(n, dom) {
+		return fmt.Errorf("%w: dom%d removing %s", ErrPermission, dom, path)
+	}
+	delete(parent.children, name)
+	s.version++
+	s.fireWatches(path, "")
+	return nil
+}
+
+// List returns the sorted child names under path readable by dom.
+func (s *Store) List(dom DomID, path string) ([]string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	n := s.lookup(parts)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntry, path)
+	}
+	if !canRead(n, dom) {
+		return nil, fmt.Errorf("%w: dom%d listing %s", ErrPermission, dom, path)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Grant gives target the given permission on path. Only Dom0 or the node
+// owner may change permissions (XenStore SET_PERMS semantics).
+func (s *Store) Grant(dom DomID, path string, target DomID, perm Perm) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	n := s.lookup(parts)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoEntry, path)
+	}
+	if dom != Dom0 && dom != n.owner {
+		return fmt.Errorf("%w: dom%d setting perms on %s", ErrPermission, dom, path)
+	}
+	if n.perms == nil {
+		n.perms = map[DomID]Perm{}
+	}
+	n.perms[target] = perm
+	return nil
+}
+
+// Exists reports whether path names a node, regardless of readability.
+func (s *Store) Exists(path string) bool {
+	parts, err := split(path)
+	if err != nil {
+		return false
+	}
+	return s.lookup(parts) != nil
+}
+
+// Watch registers fn to be called (after the configured notification
+// latency) whenever a node at or below prefix changes, provided dom can
+// read the changed node. It returns an id for Unwatch. Matching follows
+// XenStore: a watch on /a fires for writes to /a, /a/b, /a/b/c, ...
+func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (WatchID, error) {
+	parts, err := split(prefix)
+	if err != nil {
+		return 0, err
+	}
+	s.nextWatch++
+	id := s.nextWatch
+	s.watches[id] = &watch{id: id, dom: dom, prefix: parts, fn: fn}
+	return id, nil
+}
+
+// Unwatch removes a watch; unknown ids are ignored.
+func (s *Store) Unwatch(id WatchID) { delete(s.watches, id) }
+
+func hasPrefix(path, prefix []string) bool {
+	if len(prefix) > len(path) {
+		return false
+	}
+	for i, p := range prefix {
+		if path[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) fireWatches(path, value string) {
+	parts, err := split(path)
+	if err != nil {
+		return
+	}
+	// Deterministic delivery order: ascending watch id.
+	ids := make([]WatchID, 0, len(s.watches))
+	for id := range s.watches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := s.watches[id]
+		if !hasPrefix(parts, w.prefix) {
+			continue
+		}
+		if n := s.lookup(parts); n != nil && !canRead(n, w.dom) {
+			continue
+		}
+		fn := w.fn
+		p, v := path, value
+		s.notifies++
+		s.k.After(s.notifyLatency, func() {
+			// The watch may have been removed while the notification was
+			// in flight; XenStore drops such events.
+			if _, ok := s.watches[id]; ok {
+				fn(p, v)
+			}
+		})
+	}
+}
+
+// Stats reports cumulative operation counts (reads, writes, notifications),
+// used to account for framework overhead.
+func (s *Store) Stats() (reads, writes, notifies uint64) {
+	return s.reads, s.writes, s.notifies
+}
+
+// --- Typed convenience helpers -------------------------------------------
+
+// WriteInt writes an integer value.
+func (s *Store) WriteInt(dom DomID, path string, v int64) error {
+	return s.Write(dom, path, strconv.FormatInt(v, 10))
+}
+
+// ReadInt reads an integer value; absent nodes return defaultV.
+func (s *Store) ReadInt(dom DomID, path string, defaultV int64) (int64, error) {
+	raw, err := s.Read(dom, path)
+	if errors.Is(err, ErrNoEntry) {
+		return defaultV, nil
+	}
+	if err != nil {
+		return defaultV, err
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return defaultV, fmt.Errorf("store: %s holds non-integer %q", path, raw)
+	}
+	return v, nil
+}
+
+// WriteBool writes "1" or "0", the encoding Algorithms 1 and 2 use for
+// has_dirty_pages, flush_now, congested and release_request.
+func (s *Store) WriteBool(dom DomID, path string, v bool) error {
+	if v {
+		return s.Write(dom, path, "1")
+	}
+	return s.Write(dom, path, "0")
+}
+
+// ReadBool reads a boolean; absent nodes return false.
+func (s *Store) ReadBool(dom DomID, path string) (bool, error) {
+	raw, err := s.Read(dom, path)
+	if errors.Is(err, ErrNoEntry) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return raw == "1" || raw == "true", nil
+}
+
+// WriteFloat writes a float value.
+func (s *Store) WriteFloat(dom DomID, path string, v float64) error {
+	return s.Write(dom, path, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// ReadFloat reads a float value; absent nodes return defaultV.
+func (s *Store) ReadFloat(dom DomID, path string, defaultV float64) (float64, error) {
+	raw, err := s.Read(dom, path)
+	if errors.Is(err, ErrNoEntry) {
+		return defaultV, nil
+	}
+	if err != nil {
+		return defaultV, err
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return defaultV, fmt.Errorf("store: %s holds non-float %q", path, raw)
+	}
+	return v, nil
+}

@@ -1,0 +1,117 @@
+// Package trace records per-device block-I/O events in the spirit of
+// blktrace, which the paper's monitoring module uses to observe physical
+// disk status. The tracer keeps a bounded ring of events plus windowed
+// aggregates the monitoring module samples.
+package trace
+
+import (
+	"fmt"
+
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/sim"
+)
+
+// EventKind classifies trace events, mirroring blktrace actions.
+type EventKind uint8
+
+const (
+	// Queue: request entered the device queue (blktrace Q).
+	Queue EventKind = iota
+	// Issue: request issued to the device (blktrace D).
+	Issue
+	// Complete: request finished (blktrace C).
+	Complete
+)
+
+// String names the event kind with blktrace letters.
+func (k EventKind) String() string {
+	switch k {
+	case Queue:
+		return "Q"
+	case Issue:
+		return "D"
+	default:
+		return "C"
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At     sim.Time
+	Kind   EventKind
+	Device string
+	Owner  int
+	Write  bool
+	Size   int64
+}
+
+// String renders the event like a blktrace line.
+func (e Event) String() string {
+	rw := "R"
+	if e.Write {
+		rw = "W"
+	}
+	return fmt.Sprintf("%v %s %s %s %d dom%d", e.At, e.Device, e.Kind, rw, e.Size, e.Owner)
+}
+
+// Tracer collects events for one device.
+type Tracer struct {
+	k      *sim.Kernel
+	device string
+	ring   []Event
+	head   int
+	full   bool
+
+	completes *metrics.WindowRate // bytes completed, trailing window
+	queues    *metrics.WindowRate // requests queued, trailing window
+}
+
+// New returns a tracer with a ring of the given capacity (default 4096)
+// and 100 ms aggregation windows.
+func New(k *sim.Kernel, device string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{
+		k:         k,
+		device:    device,
+		ring:      make([]Event, capacity),
+		completes: metrics.NewWindowRate(100*sim.Millisecond, 512),
+		queues:    metrics.NewWindowRate(100*sim.Millisecond, 512),
+	}
+}
+
+// Record appends an event.
+func (t *Tracer) Record(kind EventKind, owner int, write bool, size int64) {
+	e := Event{At: t.k.Now(), Kind: kind, Device: t.device, Owner: owner, Write: write, Size: size}
+	t.ring[t.head] = e
+	t.head = (t.head + 1) % len(t.ring)
+	if t.head == 0 {
+		t.full = true
+	}
+	switch kind {
+	case Complete:
+		t.completes.Add(e.At, float64(size))
+	case Queue:
+		t.queues.Add(e.At, 1)
+	}
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if !t.full {
+		out := make([]Event, t.head)
+		copy(out, t.ring[:t.head])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// CompletedBps reports the completion bandwidth over the trailing window.
+func (t *Tracer) CompletedBps(now sim.Time) float64 { return t.completes.Rate(now) }
+
+// QueueRate reports request arrivals per second over the trailing window.
+func (t *Tracer) QueueRate(now sim.Time) float64 { return t.queues.Rate(now) }

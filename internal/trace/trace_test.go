@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"testing"
+
+	"iorchestra/internal/sim"
+)
+
+func TestTracerRecordsAndReturnsInOrder(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, "md0", 8)
+	k.At(1, func() { tr.Record(Queue, 1, false, 4096) })
+	k.At(2, func() { tr.Record(Issue, 1, false, 4096) })
+	k.At(3, func() { tr.Record(Complete, 1, false, 4096) })
+	k.Run()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events = %d", len(evs))
+	}
+	if evs[0].Kind != Queue || evs[1].Kind != Issue || evs[2].Kind != Complete {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[0].At != 1 || evs[2].At != 3 {
+		t.Fatal("timestamps wrong")
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, "md0", 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Queue, i, true, 1)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events = %d, want ring size 4", len(evs))
+	}
+	if evs[0].Owner != 6 || evs[3].Owner != 9 {
+		t.Fatalf("ring kept wrong events: %v", evs)
+	}
+}
+
+func TestTracerWindowedRates(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, "md0", 0)
+	k.At(sim.Millisecond, func() { tr.Record(Complete, 1, true, 1e6) })
+	k.At(2*sim.Millisecond, func() { tr.Record(Complete, 1, true, 1e6) })
+	k.Run()
+	// 2 MB in a 100ms window = 20 MB/s.
+	if got := tr.CompletedBps(k.Now()); got < 19e6 || got > 21e6 {
+		t.Fatalf("CompletedBps = %v", got)
+	}
+	// Old events age out.
+	k.At(sim.Second, func() {})
+	k.Run()
+	if got := tr.CompletedBps(k.Now()); got != 0 {
+		t.Fatalf("CompletedBps after window = %v", got)
+	}
+}
+
+func TestTracerQueueRate(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k, "md0", 0)
+	for i := 0; i < 10; i++ {
+		at := sim.Time(i+1) * sim.Millisecond
+		k.At(at, func() { tr.Record(Queue, 0, false, 512) })
+	}
+	k.Run()
+	if got := tr.QueueRate(k.Now()); got != 100 {
+		t.Fatalf("QueueRate = %v, want 100/s", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Millisecond, Kind: Complete, Device: "md0", Owner: 2, Write: true, Size: 4096}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+	if Queue.String() != "Q" || Issue.String() != "D" || Complete.String() != "C" {
+		t.Fatal("EventKind letters wrong")
+	}
+}

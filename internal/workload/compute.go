@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"iorchestra/internal/guest"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// CPUBound is the Cloud9 stand-in: threads running long compute bursts
+// with negligible I/O (an on-demand software-testing service is
+// constraint-solver bound). Its role in the evaluation is CPU ballast.
+type CPUBound struct {
+	k       *sim.Kernel
+	g       *guest.Guest
+	rng     *stats.Stream
+	rec     *Recorder
+	stopped bool
+
+	// BurstMean is the mean compute burst (default 10 ms).
+	BurstMean sim.Duration
+	// Threads defaults to the guest's VCPU count.
+	Threads int
+	// TotalBursts bounds the run (0 = until Stop); OnDone fires when all
+	// threads finish their quota.
+	TotalBursts int
+	OnDone      func()
+
+	remaining int
+	active    int
+}
+
+// NewCPUBound builds the Cloud9 stand-in on guest g.
+func NewCPUBound(k *sim.Kernel, g *guest.Guest, rng *stats.Stream) *CPUBound {
+	return &CPUBound{
+		k: k, g: g, rng: rng, rec: NewRecorder(),
+		BurstMean: 10 * sim.Millisecond,
+		Threads:   g.NumVCPUs(),
+	}
+}
+
+// Ops exposes the recorder (one op per burst).
+func (c *CPUBound) Ops() *Recorder { return c.rec }
+
+// Start launches the compute threads.
+func (c *CPUBound) Start() {
+	c.remaining = c.TotalBursts
+	c.active = c.Threads
+	for i := 0; i < c.Threads; i++ {
+		p := c.g.NewProcess(0) // zero I/O weight: pure compute
+		c.worker(p)
+	}
+}
+
+// Stop halts the workload.
+func (c *CPUBound) Stop() { c.stopped = true }
+
+func (c *CPUBound) worker(p *guest.Process) {
+	if c.stopped || (c.TotalBursts > 0 && c.remaining <= 0) {
+		c.active--
+		if c.active == 0 && c.OnDone != nil {
+			c.OnDone()
+		}
+		return
+	}
+	if c.TotalBursts > 0 {
+		c.remaining--
+	}
+	start := c.k.Now()
+	c.rec.started++
+	d := sim.DurationOf(c.rng.Exponential(1 / c.BurstMean.Seconds()))
+	p.Compute(d, func() {
+		c.rec.completed++
+		c.rec.Latency.Record(c.k.Now() - start)
+		c.worker(p)
+	})
+}
+
+// BlastScan models an mpiBLAST worker: stream a database partition
+// sequentially in large chunks, with alignment compute per chunk — the
+// access pattern that makes congestion control the operative policy for
+// BLAST in Fig. 7.
+type BlastScan struct {
+	k       *sim.Kernel
+	g       *guest.Guest
+	d       *guest.VDisk
+	rng     *stats.Stream
+	rec     *Recorder
+	stopped bool
+
+	// PartitionBytes is this worker's share of the database.
+	PartitionBytes int64
+	// ChunkSize per read (default 4 MiB).
+	ChunkSize int64
+	// ComputePerByte is alignment time per byte scanned (default
+	// ~0.8 ns/B ≈ 1.2 GB/s scan rate).
+	ComputePerByte float64
+	// Loop restarts the scan when the partition ends (for fixed-duration
+	// runs); otherwise OnDone fires at the end.
+	Loop   bool
+	OnDone func()
+}
+
+// NewBlastScan builds a worker scanning partitionBytes of database.
+func NewBlastScan(k *sim.Kernel, g *guest.Guest, d *guest.VDisk, partitionBytes int64, rng *stats.Stream) *BlastScan {
+	return &BlastScan{
+		k: k, g: g, d: d, rng: rng, rec: NewRecorder(),
+		PartitionBytes: partitionBytes,
+		ChunkSize:      4 << 20,
+		ComputePerByte: 0.8,
+	}
+}
+
+// Ops exposes the recorder (one op per chunk read).
+func (b *BlastScan) Ops() *Recorder { return b.rec }
+
+// Start launches the scan.
+func (b *BlastScan) Start() {
+	p := b.g.NewProcess(1)
+	b.step(p, 0)
+}
+
+// Stop halts the scan.
+func (b *BlastScan) Stop() { b.stopped = true }
+
+func (b *BlastScan) step(p *guest.Process, offset int64) {
+	if b.stopped {
+		return
+	}
+	if offset >= b.PartitionBytes {
+		if b.Loop {
+			b.step(p, 0)
+		} else if b.OnDone != nil {
+			b.OnDone()
+		}
+		return
+	}
+	chunk := b.ChunkSize
+	if b.PartitionBytes-offset < chunk {
+		chunk = b.PartitionBytes - offset
+	}
+	start := b.k.Now()
+	b.rec.started++
+	b.d.Read(p, chunk, true, func() {
+		b.rec.completed++
+		b.rec.Latency.Record(b.k.Now() - start)
+		compute := sim.Duration(float64(chunk) * b.ComputePerByte)
+		p.Compute(compute, func() { b.step(p, offset+chunk) })
+	})
+}

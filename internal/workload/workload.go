@@ -1,0 +1,220 @@
+// Package workload implements the load generators of the paper's
+// evaluation: closed-loop clients (CloudStone/Faban style), open-loop
+// fixed-rate and bursty generators (Sec. 5.6), the YCSB core-workload op
+// mixes, the FileBench personalities (file server, web server, video
+// server, multi-stream read), the mpiBLAST scan pattern, and a
+// CPU-intensive Cloud9 stand-in.
+package workload
+
+import (
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// Operation is an asynchronous unit of work driven by a generator: it
+// must call done exactly once when the operation completes.
+type Operation func(done func())
+
+// Recorder accumulates per-operation results for one generator.
+type Recorder struct {
+	Latency   *metrics.Histogram
+	started   uint64
+	completed uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{Latency: metrics.NewHistogram()} }
+
+// Started and Completed report operation counts.
+func (r *Recorder) Started() uint64 { return r.started }
+
+// Completed reports finished operations.
+func (r *Recorder) Completed() uint64 { return r.completed }
+
+// ClosedLoop models N concurrent clients, each repeatedly issuing an
+// operation and thinking before the next — the Faban/CloudStone user
+// emulation driving Olio in Sec. 5.1.
+type ClosedLoop struct {
+	k   *sim.Kernel
+	rng *stats.Stream
+	op  Operation
+	rec *Recorder
+
+	// ThinkMean is the mean exponential think time (0 = back-to-back).
+	ThinkMean sim.Duration
+
+	clients int
+	stopped bool
+}
+
+// NewClosedLoop builds a generator with n clients around op.
+func NewClosedLoop(k *sim.Kernel, n int, thinkMean sim.Duration, op Operation, rng *stats.Stream) *ClosedLoop {
+	return &ClosedLoop{k: k, rng: rng, op: op, rec: NewRecorder(), ThinkMean: thinkMean, clients: n}
+}
+
+// Recorder exposes results.
+func (c *ClosedLoop) Recorder() *Recorder { return c.rec }
+
+// Start launches all clients, desynchronized over one think time so the
+// population does not arrive as a single wave.
+func (c *ClosedLoop) Start() {
+	for i := 0; i < c.clients; i++ {
+		if c.ThinkMean > 0 {
+			c.k.After(sim.Duration(c.rng.Int63n(int64(c.ThinkMean))), c.client)
+		} else {
+			c.client()
+		}
+	}
+}
+
+// Stop halts issuing after in-flight operations complete.
+func (c *ClosedLoop) Stop() { c.stopped = true }
+
+func (c *ClosedLoop) client() {
+	if c.stopped {
+		return
+	}
+	start := c.k.Now()
+	c.rec.started++
+	c.op(func() {
+		c.rec.completed++
+		c.rec.Latency.Record(c.k.Now() - start)
+		think := sim.Duration(0)
+		if c.ThinkMean > 0 {
+			think = sim.DurationOf(c.rng.Exponential(1 / c.ThinkMean.Seconds()))
+		}
+		c.k.After(think, c.client)
+	})
+}
+
+// OpenLoop issues operations at a fixed average rate with exponential
+// inter-arrival times, regardless of completion — the requests-per-second
+// axis of Fig. 4.
+type OpenLoop struct {
+	k   *sim.Kernel
+	rng *stats.Stream
+	op  Operation
+	rec *Recorder
+
+	rate    float64 // ops per second
+	limit   uint64  // stop after this many issues (0 = until Stop)
+	stopped bool
+}
+
+// NewOpenLoop builds a generator issuing op at rate/sec.
+func NewOpenLoop(k *sim.Kernel, rate float64, limit uint64, op Operation, rng *stats.Stream) *OpenLoop {
+	return &OpenLoop{k: k, rng: rng, op: op, rec: NewRecorder(), rate: rate, limit: limit}
+}
+
+// Recorder exposes results.
+func (o *OpenLoop) Recorder() *Recorder { return o.rec }
+
+// Start begins issuing.
+func (o *OpenLoop) Start() { o.next() }
+
+// Stop halts further issues.
+func (o *OpenLoop) Stop() { o.stopped = true }
+
+func (o *OpenLoop) next() {
+	if o.stopped || (o.limit > 0 && o.rec.started >= o.limit) {
+		return
+	}
+	gap := sim.DurationOf(o.rng.Exponential(o.rate))
+	o.k.After(gap, func() {
+		if o.stopped || (o.limit > 0 && o.rec.started >= o.limit) {
+			return
+		}
+		start := o.k.Now()
+		o.rec.started++
+		o.op(func() {
+			o.rec.completed++
+			o.rec.Latency.Record(o.k.Now() - start)
+		})
+		o.next()
+	})
+}
+
+// Bursty issues operations with skewed inter-arrival times: synchronized
+// burst periods at up to 10× the average rate, following the methodology
+// of Sec. 5.6 (Banga & Druschel / Kapoor et al.). The number of requests
+// in a burst is controlled so different systems see identical load.
+type Bursty struct {
+	k   *sim.Kernel
+	rng *stats.Stream
+	op  Operation
+	rec *Recorder
+
+	avgRate     float64
+	burstFactor float64
+	burstLen    sim.Duration
+	period      sim.Duration // one burst per period
+	limit       uint64
+	stopped     bool
+}
+
+// NewBursty builds a bursty generator: average avgRate ops/s overall, with
+// one burst of length burstLen per period during which the instantaneous
+// rate is burstFactor × avgRate (capped at 10× per the paper); the
+// remainder of the period carries the residual rate.
+func NewBursty(k *sim.Kernel, avgRate float64, burstLen, period sim.Duration,
+	limit uint64, op Operation, rng *stats.Stream) *Bursty {
+	return &Bursty{
+		k: k, rng: rng, op: op, rec: NewRecorder(),
+		avgRate: avgRate, burstFactor: 10, burstLen: burstLen, period: period, limit: limit,
+	}
+}
+
+// Recorder exposes results.
+func (b *Bursty) Recorder() *Recorder { return b.rec }
+
+// Start launches the burst cycle.
+func (b *Bursty) Start() { b.cycle() }
+
+// Stop halts further issues.
+func (b *Bursty) Stop() { b.stopped = true }
+
+// cycle plays one period: a burst phase then a quiet phase.
+func (b *Bursty) cycle() {
+	if b.stopped || (b.limit > 0 && b.rec.started >= b.limit) {
+		return
+	}
+	burstRate := b.avgRate * b.burstFactor
+	// Requests in the burst: burstRate × burstLen.
+	burstN := uint64(burstRate * b.burstLen.Seconds())
+	if burstN == 0 {
+		burstN = 1
+	}
+	// Residual requests spread over the rest of the period.
+	totalN := uint64(b.avgRate * b.period.Seconds())
+	var quietN uint64
+	if totalN > burstN {
+		quietN = totalN - burstN
+	}
+	quietLen := b.period - b.burstLen
+	b.phase(burstN, b.burstLen, func() {
+		b.phase(quietN, quietLen, b.cycle)
+	})
+}
+
+// phase issues n requests uniformly over d, then calls next.
+func (b *Bursty) phase(n uint64, d sim.Duration, next func()) {
+	if b.stopped {
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		if b.limit > 0 && b.rec.started >= b.limit {
+			break
+		}
+		at := sim.Duration(b.rng.Int63n(int64(d) + 1))
+		b.rec.started++
+		b.k.After(at, func() {
+			start := b.k.Now()
+			b.op(func() {
+				b.rec.completed++
+				b.rec.Latency.Record(b.k.Now() - start)
+			})
+		})
+	}
+	b.k.After(d, next)
+}

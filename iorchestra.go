@@ -1,0 +1,239 @@
+// Package iorchestra is a library-scale reproduction of "IOrchestra:
+// Supporting High-Performance Data-Intensive Applications in the Cloud via
+// Collaborative Virtualization" (SC '15): a collaborative-virtualization
+// framework that bridges the semantic gap between guest VMs and the
+// hypervisor for block I/O.
+//
+// The real prototype modifies Linux and Xen; this reproduction runs the
+// identical control plane (a XenStore-equivalent system store with
+// watches, an event-channel bus, the monitoring and management modules,
+// and the paper's three policies) over a deterministic discrete-event
+// model of the data plane (guest I/O stacks, paravirtual rings, NUMA
+// hosts with dedicated polling I/O cores, and an SSD RAID0 array).
+//
+// The top-level entry point is Platform: pick a System (Baseline, SDC,
+// DIF or IOrchestra), create VMs, attach workloads from the workload and
+// apps packages, and run the simulation kernel.
+//
+//	p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, 42)
+//	vm := p.NewVM(2, 4) // 2 VCPUs, 4 GB
+//	... drive vm.G's disks, then p.Kernel.RunUntil(...)
+package iorchestra
+
+import (
+	"fmt"
+
+	"iorchestra/internal/baselines"
+	"iorchestra/internal/core"
+	"iorchestra/internal/device"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// Re-exported core types, so downstream users work through one import.
+type (
+	// Kernel is the discrete-event simulation executive.
+	Kernel = sim.Kernel
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// Host is one physical machine.
+	Host = hypervisor.Host
+	// HostConfig parameterizes a host.
+	HostConfig = hypervisor.Config
+	// VM couples a guest with its host-side runtime.
+	VM = hypervisor.GuestRuntime
+	// GuestConfig describes a guest VM.
+	GuestConfig = guest.Config
+	// DiskConfig describes a virtual disk.
+	DiskConfig = guest.DiskConfig
+	// Manager is IOrchestra's hypervisor-side module pair.
+	Manager = core.Manager
+	// Policies selects IOrchestra's collaborative functions.
+	Policies = core.Policies
+	// Stream is a deterministic random stream.
+	Stream = stats.Stream
+)
+
+// Re-exported duration constants.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// System identifies one of the four platforms the paper evaluates.
+type System int
+
+const (
+	// SystemBaseline is stock Linux 3.5 + Xen 4.0 semantics.
+	SystemBaseline System = iota
+	// SystemSDC adds static dedicated I/O cores (Har'El et al., SplitX).
+	SystemSDC
+	// SystemDIF adds disk-idleness-based flushing (Elango et al.).
+	SystemDIF
+	// SystemIOrchestra is the paper's full framework.
+	SystemIOrchestra
+)
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	switch s {
+	case SystemBaseline:
+		return "Baseline"
+	case SystemSDC:
+		return "SDC"
+	case SystemDIF:
+		return "DIF"
+	case SystemIOrchestra:
+		return "IOrchestra"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Systems lists all four, in the paper's presentation order.
+func Systems() []System {
+	return []System{SystemBaseline, SystemSDC, SystemDIF, SystemIOrchestra}
+}
+
+// Option customizes a Platform.
+type Option func(*options)
+
+type options struct {
+	hostCfg    hypervisor.Config
+	haveCfg    bool
+	policies   core.Policies
+	havePol    bool
+	managerCfg core.ManagerConfig
+	deviceFn   func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice
+}
+
+// WithHostConfig overrides the host configuration (sockets, cores,
+// device, latencies). Mode and RouteBySocket are still forced by the
+// chosen System.
+func WithHostConfig(cfg hypervisor.Config) Option {
+	return func(o *options) { o.hostCfg = cfg; o.haveCfg = true }
+}
+
+// WithPolicies restricts IOrchestra to a subset of its policies, as the
+// paper's single-function experiments do (e.g. flush control only in
+// Sec. 5.3). Ignored for other systems.
+func WithPolicies(p core.Policies) Option {
+	return func(o *options) { o.policies = p; o.havePol = true }
+}
+
+// WithManagerConfig tunes the management module's thresholds and cadences.
+func WithManagerConfig(cfg core.ManagerConfig) Option {
+	return func(o *options) { o.managerCfg = cfg }
+}
+
+// WithDevice supplies a custom storage device built on the platform's
+// kernel (e.g. a raw spec-rate array instead of the default effective-rate
+// file-backed one).
+func WithDevice(fn func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice) Option {
+	return func(o *options) { o.deviceFn = fn }
+}
+
+// Platform is an assembled system under test: one host (use
+// cluster.Testbed for multi-host setups) with the chosen system's
+// components installed.
+type Platform struct {
+	Kernel *sim.Kernel
+	Host   *hypervisor.Host
+	Sys    System
+	Rng    *stats.Stream
+
+	// Manager is non-nil for SystemIOrchestra.
+	Manager *core.Manager
+	// DIF is non-nil for SystemDIF.
+	DIF *baselines.DIF
+	// SDC is non-nil for SystemSDC.
+	SDC *baselines.SDC
+}
+
+// NewPlatform builds a fresh kernel and host configured for the system.
+// The seed fully determines every stochastic component.
+func NewPlatform(sys System, seed uint64, opts ...Option) *Platform {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	k := sim.NewKernel()
+	// The stream label deliberately excludes the system name: runs of
+	// different systems with the same seed draw identical workload and
+	// device randomness, so comparisons are paired.
+	rng := stats.NewStream(seed, "platform")
+	cfg := o.hostCfg
+	pol := core.All()
+	if o.havePol {
+		pol = o.policies
+	}
+	switch sys {
+	case SystemSDC:
+		cfg.Mode = hypervisor.ModeDedicated
+		cfg.RouteBySocket = false
+	case SystemIOrchestra:
+		// Dedicated polling cores belong to the co-scheduling function;
+		// single-policy ablations (flush-only, congestion-only) run on
+		// the standard paravirtual path so platforms stay comparable.
+		if pol.Cosched {
+			cfg.Mode = hypervisor.ModeDedicated
+			cfg.RouteBySocket = true
+		} else {
+			cfg.Mode = hypervisor.ModeBackend
+		}
+	default:
+		cfg.Mode = hypervisor.ModeBackend
+	}
+	if o.deviceFn != nil {
+		cfg.Device = o.deviceFn(k, rng.Fork("device"))
+	}
+	h := hypervisor.New(k, cfg, rng.Fork("host"))
+	p := &Platform{Kernel: k, Host: h, Sys: sys, Rng: rng}
+	switch sys {
+	case SystemIOrchestra:
+		p.Manager = core.NewManager(h, pol, o.managerCfg, rng.Fork("mgr"))
+	case SystemDIF:
+		p.DIF = baselines.NewDIF(h)
+	case SystemSDC:
+		p.SDC = baselines.NewSDC(h)
+	}
+	return p
+}
+
+// NewVM creates a guest with vcpus VCPUs and memGB gigabytes, one default
+// disk, and the system's per-VM components installed.
+func (p *Platform) NewVM(vcpus, memGB int, disks ...guest.DiskConfig) *hypervisor.GuestRuntime {
+	rt := p.Host.CreateGuest(guest.Config{
+		VCPUs:    vcpus,
+		MemBytes: int64(memGB) << 30,
+	}, disks...)
+	p.Enable(rt)
+	return rt
+}
+
+// Enable installs the system's per-VM hooks on an existing runtime (used
+// by the arrival experiments, which create guests through the cluster
+// engine).
+func (p *Platform) Enable(rt *hypervisor.GuestRuntime) {
+	switch p.Sys {
+	case SystemIOrchestra:
+		p.Manager.EnableGuest(rt)
+	case SystemDIF:
+		p.DIF.EnableGuest(rt)
+	case SystemSDC:
+		p.SDC.EnableGuest(rt)
+	}
+}
+
+// RunFor advances the simulation by d.
+func (p *Platform) RunFor(d sim.Duration) {
+	p.Kernel.RunUntil(p.Kernel.Now() + d)
+}
