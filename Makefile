@@ -1,0 +1,28 @@
+# Standard verification pipeline: `make check` is what CI runs.
+GO ?= go
+
+.PHONY: all build vet test race check experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race run covers the concurrent watch-table paths in internal/store.
+race:
+	$(GO) test -race ./...
+
+check: vet build test race
+
+# Quick-scale regeneration of every paper figure, with decision traces.
+experiments:
+	$(GO) run ./cmd/experiments -run all -trace traces/
+
+clean:
+	rm -rf traces/

@@ -4,6 +4,7 @@
 //	experiments -run E0            # Sec. 2 motivation test, quick scale
 //	experiments -run fig8 -full    # report-quality durations
 //	experiments -run all -seed 7
+//	experiments -run fig8 -trace traces/   # per-point NDJSON decision traces
 package main
 
 import (
@@ -19,11 +20,19 @@ func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	full := flag.Bool("full", false, "report-quality durations (slower)")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	traceDir := flag.String("trace", "", "write per-point NDJSON decision traces and metrics summaries into this directory (see cmd/iorchestra-trace)")
 	flag.Parse()
 
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.SetTraceDir(*traceDir)
 	}
 
 	if *run == "" {

@@ -20,6 +20,7 @@ import (
 	"iorchestra/internal/metrics"
 	"iorchestra/internal/pagecache"
 	"iorchestra/internal/sim"
+	"iorchestra/internal/trace"
 	"iorchestra/internal/workload"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	seconds := flag.Int("seconds", 30, "virtual seconds to simulate")
 	rate := flag.Float64("rate", 2000, "request rate for ycsb workloads (req/s)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	traceOut := flag.String("trace", "", "write an NDJSON decision trace to this file (see cmd/iorchestra-trace)")
 	flag.Parse()
 
 	var sys iorchestra.System
@@ -48,7 +50,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	p := iorchestra.NewPlatform(sys, *seed)
+	var popts []iorchestra.Option
+	if *traceOut != "" {
+		popts = append(popts, iorchestra.WithTracing(0))
+	}
+	p := iorchestra.NewPlatform(sys, *seed, popts...)
 	dur := sim.Duration(*seconds) * iorchestra.Second
 
 	type resultFn func() (*metrics.Histogram, float64) // latency, bytes
@@ -151,4 +157,23 @@ func main() {
 	}
 	r, w, n := p.Host.Store().Stats()
 	fmt.Printf("system store: %d reads, %d writes, %d notifications\n", r, w, n)
+
+	if *traceOut != "" && p.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := p.Trace.WriteNDJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events recorded (%d retained, %d evicted) -> %s\n",
+			p.Trace.Recorded(), len(p.Trace.Events()), p.Trace.Dropped(), *traceOut)
+		fmt.Print(trace.Summarize(p.Trace.Events()).Format())
+	}
 }

@@ -1,0 +1,93 @@
+// Command iorchestra-trace loads an NDJSON decision trace (produced by
+// iorchestra-sim -trace, experiments -trace, or any code holding a
+// *trace.Recorder) and prints per-domain decision summaries and
+// timelines — the debugging tool for Algorithm 1–3 behaviour.
+//
+//	iorchestra-trace run.ndjson                  # per-domain summary
+//	iorchestra-trace -timeline run.ndjson        # full event timeline
+//	iorchestra-trace -dom 3 -timeline run.ndjson # one domain's timeline
+//	iorchestra-trace -kind flush.order run.ndjson
+//	cat run.ndjson | iorchestra-trace -          # read stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"iorchestra/internal/trace"
+)
+
+func main() {
+	dom := flag.Int("dom", -1, "restrict to one domain id (-1 = all)")
+	kind := flag.String("kind", "", "comma-separated kind filter (e.g. flush.order,congest.veto)")
+	timeline := flag.Bool("timeline", false, "print the event timeline instead of only the summary")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: iorchestra-trace [flags] <trace.ndjson | ->\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var in io.Reader
+	if name := flag.Arg(0); name == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	events, err := trace.ReadNDJSON(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	events = filter(events, *dom, *kind)
+	if len(events) == 0 {
+		fmt.Println("trace: no events match")
+		return
+	}
+
+	if *timeline {
+		for _, e := range events {
+			fmt.Println(e)
+		}
+		fmt.Println()
+	}
+	fmt.Print(trace.Summarize(events).Format())
+}
+
+// filter keeps events matching the domain and kind selections.
+func filter(events []trace.Record, dom int, kinds string) []trace.Record {
+	want := map[trace.Kind]bool{}
+	for _, k := range strings.Split(kinds, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[trace.Kind(k)] = true
+		}
+	}
+	if dom < 0 && len(want) == 0 {
+		return events
+	}
+	out := events[:0:0]
+	for _, e := range events {
+		if dom >= 0 && e.Dom != dom {
+			continue
+		}
+		if len(want) > 0 && !want[e.Kind] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"iorchestra/internal/metrics"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/trace"
 )
 
 // Lower is where dispatched requests go: in a guest this is the
@@ -163,6 +164,11 @@ type Queue struct {
 	throttled    uint64
 	latency      *metrics.Histogram
 	queueLatency *metrics.Histogram
+
+	// rec, when set, receives congestion engage/release trace records
+	// tagged with recDom (the owning domain).
+	rec    *trace.Recorder
+	recDom int
 }
 
 // NewQueue builds a block-layer queue dispatching to lower.
@@ -192,6 +198,14 @@ func (q *Queue) SetController(c CongestionController) {
 		c = LocalController{}
 	}
 	q.cfg.Controller = c
+}
+
+// SetRecorder mirrors congestion-avoidance engagements and collaborative
+// releases into the decision-trace recorder, tagged with the owning
+// domain.
+func (q *Queue) SetRecorder(r *trace.Recorder, dom int) {
+	q.rec = r
+	q.recDom = dom
 }
 
 // Pending reports queued plus in-flight requests.
@@ -258,6 +272,12 @@ func (q *Queue) trySubmit(r *device.Request) {
 	if !q.avoidance && q.pending >= q.onThreshold() {
 		if q.cfg.Controller.OnCongested(q) {
 			q.avoidance = true
+			if q.rec != nil {
+				q.rec.Record(trace.Record{
+					Kind: trace.KindCongestEngage, Dom: q.recDom,
+					Disk: q.cfg.Name, QueueDepth: q.pending,
+				})
+			}
 		}
 	}
 }
@@ -378,6 +398,12 @@ func (q *Queue) wakeProducers() {
 // avoidance is lifted, the queue is unplugged and flushed, and sleeping
 // producers are woken FIFO with the caller-supplied stagger between them.
 func (q *Queue) Release(stagger func(i int) sim.Duration) {
+	if q.rec != nil {
+		q.rec.Record(trace.Record{
+			Kind: trace.KindQueueRelease, Dom: q.recDom,
+			Disk: q.cfg.Name, QueueDepth: q.pending,
+		})
+	}
 	q.avoidance = false
 	q.Unplug()
 	i := 0

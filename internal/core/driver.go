@@ -10,6 +10,7 @@ import (
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/trace"
 )
 
 // Driver is the guest-side IOrchestra component ("system store driver" in
@@ -23,6 +24,7 @@ type Driver struct {
 	g   *guest.Guest
 	dom *bus.Domain
 	rng *stats.Stream
+	rec *trace.Recorder // host's decision-trace recorder (may be nil)
 
 	disks map[string]*diskDriver
 
@@ -64,6 +66,7 @@ func NewDriver(h *hypervisor.Host, rt *hypervisor.GuestRuntime, rng *stats.Strea
 		g:                rt.G,
 		dom:              rt.Dom,
 		rng:              rng,
+		rec:              h.Recorder(),
 		disks:            map[string]*diskDriver{},
 		QueryInterval:    5 * sim.Millisecond,
 		ReleaseGrace:     50 * sim.Millisecond,
@@ -210,6 +213,12 @@ func (drv *Driver) onStoreEvent(rel, value string) {
 func (dd *diskDriver) handleFlushNow() {
 	drv := dd.drv
 	drv.flushes++
+	if drv.rec != nil {
+		drv.rec.Record(trace.Record{
+			Kind: trace.KindFlushSync, Dom: int(drv.g.ID()), Disk: dd.name,
+			NrDirty: dd.v.Cache.DirtyPages(),
+		})
+	}
 	dd.v.Cache.Sync(nil)
 	drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
 }
@@ -313,6 +322,12 @@ func (drv *Driver) applyTargets() {
 	if migrate != nil {
 		migrate.MoveTo(migrateTo)
 		drv.rebalance++
+		if drv.rec != nil {
+			drv.rec.Record(trace.Record{
+				Kind: trace.KindCoschedMove, Dom: int(drv.g.ID()),
+				Socket: drv.g.VCPU(migrateTo).Socket, Weight: migrate.IOWeight,
+			})
+		}
 		drv.PublishWeights()
 	}
 }

@@ -21,23 +21,54 @@ import (
 // creates every key it owns at registration time so that the management
 // module can write to guest-owned nodes (Dom0 always may) while the guest
 // retains the ability to reset them.
+//
+// docs/STORE_KEYS.md is the normative reference: for each key it gives
+// the writer, readers, value format, watch semantics and the paper
+// section it implements. The comments here are the short form.
 const (
-	// Per-disk keys (under virt-dev/<disk>/).
-	keyHasDirty     = "has_dirty_pages"
-	keyNrDirty      = "nr_dirty"
-	keyFlushNow     = "flush_now"
+	// keyHasDirty (bool, under virt-dev/<disk>/) — guest-written presence
+	// bit for dirty pages; transitions publish immediately so the
+	// manager's flush candidate set is always current (Algorithm 1).
+	keyHasDirty = "has_dirty_pages"
+	// keyNrDirty (int pages) — the guest's dirty-page count nr_i,
+	// rate-limited to one write per Driver.NrUpdateInterval; the manager
+	// picks argmax_i nr_i among eligible flush candidates (Algorithm 1).
+	keyNrDirty = "nr_dirty"
+	// keyFlushNow (bool) — set by the manager to order a sync() when the
+	// device is near-idle; reset by the guest after flushing
+	// (Algorithm 1, notified branch).
+	keyFlushNow = "flush_now"
+	// keyCongestQuery (bool) — set by the guest when its queue crosses
+	// the 7/8 congestion threshold, asking whether the host is actually
+	// congested; reset by the manager before answering so the next query
+	// re-fires the watch (Algorithm 2).
 	keyCongestQuery = "congest_query"
-	keyCongested    = "congested"
+	// keyCongested (bool) — the manager's standing verdict for the disk:
+	// set on confirm, cleared by the guest on release (Algorithm 2).
+	keyCongested = "congested"
 
-	// Per-domain keys.
+	// keyReleaseRequest (bool, per-domain) — set by the manager on a veto
+	// (immediately) or on relief (FIFO with 0–99 ms stagger); the guest
+	// releases every disk queue and resets it (Algorithm 2).
 	keyReleaseRequest = "release_request"
 
-	// Co-scheduling keys (under io/).
-	keyWeightPrefix = "io/weight"       // io/weight/<socket> = W_SKT
-	keyTotalWeight  = "io/total_weight" // Σ P_l
-	keyVMShare      = "io/vm_share"     // S^(VM)_i
-	keySharePrefix  = "io/share"        // io/share/<socket> = S_SKT (mgmt)
-	keyTargetPrefix = "io/target"       // io/target/<socket> = weight fraction (mgmt)
+	// keyWeightPrefix (float, io/weight/<socket>) — guest-published
+	// per-socket I/O process weight W_SKT (Sec. 3.3).
+	keyWeightPrefix = "io/weight"
+	// keyTotalWeight (float) — guest-published total I/O process weight
+	// Σ P_l, the share denominator (Sec. 3.3).
+	keyTotalWeight = "io/total_weight"
+	// keyVMShare (float) — operator-assigned VM share S^(VM)_i of host
+	// I/O capacity; the manager defaults to an equal split when absent.
+	keyVMShare = "io/vm_share"
+	// keySharePrefix (float, io/share/<socket>) — manager-published
+	// per-socket share S_SKT = S^(VM)·W_SKT/ΣP, for observability.
+	keySharePrefix = "io/share"
+	// keyTargetPrefix (float, io/target/<socket>) — manager-published
+	// weight-fraction targets, inversely proportional to per-core
+	// latency; the guest migrates one I/O process per update toward them
+	// (Sec. 3.3).
+	keyTargetPrefix = "io/target"
 )
 
 // diskKey builds the relative path of a per-disk key.

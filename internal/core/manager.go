@@ -8,6 +8,7 @@ import (
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
 	"iorchestra/internal/store"
+	"iorchestra/internal/trace"
 )
 
 // Policies selects which collaborative functions the manager runs; the
@@ -104,6 +105,7 @@ type Manager struct {
 	rng *stats.Stream
 	pol Policies
 	cfg ManagerConfig
+	rec *trace.Recorder // host's decision-trace recorder (may be nil)
 
 	drivers map[store.DomID]*Driver
 
@@ -143,6 +145,7 @@ func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.
 		rng:        rng,
 		pol:        pol,
 		cfg:        cfg,
+		rec:        h.Recorder(),
 		drivers:    map[store.DomID]*Driver{},
 		dirty:      map[store.DomID]map[string]*dirtyState{},
 		coschedOff: map[store.DomID]bool{},
@@ -342,6 +345,13 @@ func (m *Manager) flushTick() {
 	m.flushNotices++
 	m.lastFlushNotice = now
 	m.outstandingDom, m.outstandingDisk, m.outstandingSince = bestDom, bestDisk, now
+	if m.rec != nil {
+		m.rec.Record(trace.Record{
+			Kind: trace.KindFlushOrder, Dom: int(bestDom), Disk: bestDisk,
+			NrDirty: bestNr, DeviceBps: dev.BandwidthBps(now),
+			UtilFrac: dev.UtilFraction(now),
+		})
+	}
 	m.st.WriteBool(store.Dom0, absDiskKey(bestDom, bestDisk, keyFlushNow), true)
 }
 
@@ -354,6 +364,7 @@ func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
 	m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongestQuery), false)
 	if m.h.IOCongested() {
 		m.confirms++
+		m.recordCongestion(trace.KindCongestConfirm, dom, disk)
 		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongested), true)
 		for _, e := range m.held {
 			if e.dom == dom && e.disk == disk {
@@ -365,7 +376,21 @@ func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
 		return
 	}
 	m.vetoes++
+	m.recordCongestion(trace.KindCongestVeto, dom, disk)
 	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+}
+
+// recordCongestion traces an Algorithm 2 verdict with the host queue
+// depths that justified it.
+func (m *Manager) recordCongestion(kind trace.Kind, dom store.DomID, disk string) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Record(trace.Record{
+		Kind: kind, Dom: int(dom), Disk: disk,
+		QueueDepth: m.h.Cgroup().Backlog(),
+		DevPending: m.h.Device().Pending(),
+	})
 }
 
 func (m *Manager) armCongestion() {
@@ -390,9 +415,10 @@ func (m *Manager) congestionTick() {
 	}
 	var offset sim.Duration
 	for _, e := range m.held {
-		dom := e.dom
+		dom, disk := e.dom, e.disk
 		m.relieves++
 		m.k.After(offset, func() {
+			m.recordCongestion(trace.KindCongestRelease, dom, disk)
 			m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
 		})
 		offset += sim.Duration(m.rng.Int63n(int64(m.cfg.ReleaseStaggerMax)))
@@ -450,6 +476,13 @@ func (m *Manager) coschedTick() bool {
 	m.lastApply = now
 	m.lastRatio = ratio
 	m.coschedRuns++
+	if m.rec != nil {
+		m.rec.Record(trace.Record{
+			Kind: trace.KindCoschedUpdate,
+			CoreLatency: append([]float64(nil), lat...),
+			Weight:      ratio,
+		})
+	}
 
 	// Weight targets: fraction on socket i ∝ 1/L_i (the paper's inverse-
 	// proportional distribution). Published only when some core is

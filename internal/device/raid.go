@@ -5,6 +5,7 @@ import (
 
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/trace"
 )
 
 // RAID0 stripes requests across member devices. It matches the paper's
@@ -38,6 +39,16 @@ func PaperArray(k *sim.Kernel, rng *stats.Stream) *RAID0 {
 		members[i] = NewSSD(k, cfg, rng.Fork(cfg.Name))
 	}
 	return NewRAID0(k, "md0", members, 256<<10)
+}
+
+// SetRecorder forwards the decision-trace recorder to every member that
+// supports per-request service tracing.
+func (a *RAID0) SetRecorder(r *trace.Recorder) {
+	for _, m := range a.members {
+		if mr, ok := m.(interface{ SetRecorder(*trace.Recorder) }); ok {
+			mr.SetRecorder(r)
+		}
+	}
 }
 
 // Name implements BlockDevice.

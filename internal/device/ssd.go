@@ -4,6 +4,7 @@ import (
 	"iorchestra/internal/metrics"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/trace"
 )
 
 // SSDConfig parameterizes a solid-state device model.
@@ -87,6 +88,10 @@ type SSD struct {
 	completed  uint64
 	bytesMoved float64
 	latency    *metrics.Histogram
+
+	// rec, when set, receives a dev.service record per completion with
+	// the device-level service latency (submit at device → finish).
+	rec *trace.Recorder
 }
 
 // NewSSD builds an SSD from cfg, drawing service jitter from rng.
@@ -106,6 +111,9 @@ func NewSSD(k *sim.Kernel, cfg SSDConfig, rng *stats.Stream) *SSD {
 		latency: metrics.NewHistogram(),
 	}
 }
+
+// SetRecorder mirrors each completion into the decision-trace recorder.
+func (d *SSD) SetRecorder(r *trace.Recorder) { d.rec = r }
 
 // Name implements BlockDevice.
 func (d *SSD) Name() string { return d.cfg.Name }
@@ -178,6 +186,12 @@ func (d *SSD) finish(r *Request) {
 	d.bytesMoved += float64(r.Size)
 	d.bw.Add(now, float64(r.Size))
 	d.latency.Record(now - r.Submitted)
+	if d.rec != nil {
+		d.rec.Record(trace.Record{
+			Kind: trace.KindDevService, Dom: r.Owner, Device: d.cfg.Name,
+			Write: r.Op == Write, Size: r.Size, Latency: now - r.Submitted,
+		})
+	}
 	if next, ok := d.queue.Pop(); ok {
 		d.start(next)
 	} else if d.inflight == 0 {

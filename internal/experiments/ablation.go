@@ -44,7 +44,7 @@ func ablateStoreLatency(scale Scale, seed uint64) *Table {
 	latencies := []sim.Duration{10 * sim.Microsecond, 100 * sim.Microsecond,
 		sim.Millisecond, 10 * sim.Millisecond, 100 * sim.Millisecond}
 	results := parallelMap(len(latencies), func(i int) float64 {
-		p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, seed,
+		p := tracedPlatform(iorchestra.SystemIOrchestra, seed,
 			iorchestra.WithPolicies(iorchestra.Policies{Congestion: true}),
 			iorchestra.WithHostConfig(hypervisor.Config{StoreLatency: latencies[i]}))
 		vm := p.NewVM(4, 4, congestedDisk())
@@ -52,6 +52,7 @@ func ablateStoreLatency(scale Scale, seed uint64) *Table {
 			p.Rng.Fork("ms"))
 		ms.Start()
 		p.Kernel.RunUntil(dur)
+		dumpTrace(fmt.Sprintf("ablate-storelat-%s-seed%d", latencies[i], seed), p)
 		return ms.Ops().Latency.Percentile(99.9).Milliseconds()
 	})
 	t := &Table{Title: "Ablation: store notification latency vs read p99.9 (congestion policy)",
@@ -68,7 +69,7 @@ func ablateFlushThreshold(scale Scale, seed uint64) *Table {
 	dur := scale.pick(20*sim.Second, 60*sim.Second)
 	fracs := []float64{0.02, 0.05, 0.10, 0.25, 0.50}
 	results := parallelMap(len(fracs), func(i int) float64 {
-		p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, seed,
+		p := tracedPlatform(iorchestra.SystemIOrchestra, seed,
 			iorchestra.WithPolicies(iorchestra.Policies{Flush: true}),
 			iorchestra.WithManagerConfig(core.ManagerConfig{FlushUtilFrac: fracs[i]}))
 		var gens []*workload.FS
@@ -85,6 +86,7 @@ func ablateFlushThreshold(scale Scale, seed uint64) *Table {
 			gens = append(gens, fs)
 		}
 		p.Kernel.RunUntil(dur)
+		dumpTrace(fmt.Sprintf("ablate-flushfrac-%g-seed%d", fracs[i], seed), p)
 		var total float64
 		for _, g := range gens {
 			total += g.WrittenBytes()
@@ -107,7 +109,7 @@ func ablateReleaseStagger(scale Scale, seed uint64) *Table {
 	staggers := []sim.Duration{sim.Microsecond, 99 * sim.Millisecond, 500 * sim.Millisecond}
 	labels := []string{"none (herd)", "0-99 ms (paper)", "0-500 ms"}
 	results := parallelMap(len(staggers), func(i int) float64 {
-		p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, seed,
+		p := tracedPlatform(iorchestra.SystemIOrchestra, seed,
 			iorchestra.WithPolicies(iorchestra.Policies{Congestion: true}),
 			iorchestra.WithManagerConfig(core.ManagerConfig{ReleaseStaggerMax: staggers[i]}))
 		var gens []*workload.MultiStream
@@ -119,6 +121,7 @@ func ablateReleaseStagger(scale Scale, seed uint64) *Table {
 			gens = append(gens, ms)
 		}
 		p.Kernel.RunUntil(dur)
+		dumpTrace(fmt.Sprintf("ablate-stagger-%s-seed%d", staggers[i], seed), p)
 		var sum float64
 		var n float64
 		for _, g := range gens {
@@ -142,7 +145,7 @@ func ablateCoschedCadence(scale Scale, seed uint64) *Table {
 	dur := scale.pick(15*sim.Second, 45*sim.Second)
 	intervals := []sim.Duration{250 * sim.Millisecond, sim.Second, 4 * sim.Second, 16 * sim.Second}
 	results := parallelMap(len(intervals), func(i int) float64 {
-		p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, seed,
+		p := tracedPlatform(iorchestra.SystemIOrchestra, seed,
 			iorchestra.WithPolicies(iorchestra.Policies{Cosched: true}),
 			iorchestra.WithManagerConfig(core.ManagerConfig{CoschedInterval: intervals[i]}),
 			iorchestra.WithHostConfig(hypervisor.Config{Sockets: 2, CoresPerSocket: 6,
@@ -155,6 +158,7 @@ func ablateCoschedCadence(scale Scale, seed uint64) *Table {
 		ms.Start()
 		cb.Start()
 		p.Kernel.RunUntil(dur)
+		dumpTrace(fmt.Sprintf("ablate-cosched-%s-seed%d", intervals[i], seed), p)
 		return float64(ms.Ops().Completed()) / dur.Seconds()
 	})
 	t := &Table{Title: "Ablation: co-scheduling update cadence vs stream throughput (MB/s)",

@@ -80,7 +80,7 @@ func runE0Variant(v E0Variant, cfg E0Config, seed uint64) E0Result {
 	if v == E0IOrchestra {
 		sys = iorchestra.SystemIOrchestra
 	}
-	p := iorchestra.NewPlatform(sys, seed,
+	p := tracedPlatform(sys, seed,
 		iorchestra.WithPolicies(iorchestra.Policies{Congestion: true}))
 	var gens []*workload.MultiStream
 	for vm := 0; vm < 2; vm++ {
@@ -103,6 +103,7 @@ func runE0Variant(v E0Variant, cfg E0Config, seed uint64) E0Result {
 		gens = append(gens, ms)
 	}
 	p.Kernel.RunUntil(cfg.Duration)
+	dumpTrace(fmt.Sprintf("E0-%s-seed%d", v, seed), p)
 	var total float64
 	var p999 float64
 	var chunks uint64

@@ -81,7 +81,7 @@ func runFig10aPoint(cosched bool, seed uint64, ioRatio float64, dur sim.Duration
 		}
 		return device.NewRAID0(k, "md0", members, 256<<10)
 	}
-	p := iorchestra.NewPlatform(iorchestra.SystemIOrchestra, seed,
+	p := tracedPlatform(iorchestra.SystemIOrchestra, seed,
 		iorchestra.WithPolicies(iorchestra.Policies{Cosched: true}),
 		iorchestra.WithDevice(specArray),
 		iorchestra.WithHostConfig(iorchestra.HostConfig{
@@ -106,6 +106,7 @@ func runFig10aPoint(cosched bool, seed uint64, ioRatio float64, dur sim.Duration
 		cb.Start()
 	}
 	p.Kernel.RunUntil(dur)
+	dumpTrace(fmt.Sprintf("fig10a-cosched%t-io%.0f-seed%d", cosched, ioRatio*100, seed), p)
 	return float64(ms.Ops().Completed()) * float64(1<<20) / dur.Seconds()
 }
 

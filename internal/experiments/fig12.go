@@ -79,7 +79,7 @@ func RunFig12(scale Scale, seed uint64) []*Table {
 // runFig12Point returns YCSB1 p99.9 latency in microseconds under bursty
 // arrivals.
 func runFig12Point(sys iorchestra.System, seed uint64, rate float64, burst sim.Duration, dur sim.Duration) float64 {
-	p := iorchestra.NewPlatform(sys, seed,
+	p := tracedPlatform(sys, seed,
 		// Under half-second burst cycles the flush policy must be
 		// conservative: sizeable piles only, well spaced, so sync storms
 		// never straddle the next burst.
@@ -98,6 +98,7 @@ func runFig12Point(sys iorchestra.System, seed uint64, rate float64, burst sim.D
 		burst, 500*sim.Millisecond, 0, p.Rng.Fork("gen"))
 	run.Gen.Start()
 	p.Kernel.RunUntil(dur)
+	dumpTrace(fmt.Sprintf("fig12-%s-rate%g-burst%s-seed%d", sys, rate, burst, seed), p)
 	return run.Rec.Latency.Percentile(99.9).Microseconds()
 }
 

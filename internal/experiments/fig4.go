@@ -41,7 +41,7 @@ func cassandraDisk() guest.DiskConfig {
 }
 
 func buildFig4(sys iorchestra.System, seed uint64, clients int, y1Rate, y2Rate float64) *fig4Scenario {
-	p := iorchestra.NewPlatform(sys, seed)
+	p := tracedPlatform(sys, seed)
 	k := p.Kernel
 
 	// Two Cassandra stores first, two data nodes each: 14 VCPUs do not
@@ -101,6 +101,7 @@ func runFig4Point(sys iorchestra.System, seed uint64, clients int, y1Rate, y2Rat
 		sc.y1.Gen.Start()
 		sc.y2.Gen.Start()
 		sc.p.Kernel.RunUntil(dur)
+		dumpTrace(fmt.Sprintf("fig4-%s-c%d-r%g-seed%d", sys, clients, y1Rate, seed+uint64(rep)*1000), sc.p)
 		merged.y1Hist.Merge(sc.y1.Rec.Latency)
 		merged.y2Hist.Merge(sc.y2.Rec.Latency)
 		merged.webHist.Merge(sc.olio.WebLatency())

@@ -78,7 +78,7 @@ func runFig8Point(iorch bool, seed uint64, vms int, dirtyRatio float64, dur sim.
 	if iorch {
 		sys = iorchestra.SystemIOrchestra
 	}
-	p := iorchestra.NewPlatform(sys, seed,
+	p := tracedPlatform(sys, seed,
 		iorchestra.WithPolicies(iorchestra.Policies{Flush: true}))
 	var gens []*workload.FS
 	for i := 0; i < vms; i++ {
@@ -106,6 +106,7 @@ func runFig8Point(iorch bool, seed uint64, vms int, dirtyRatio float64, dur sim.
 		g.Start()
 	}
 	p.Kernel.RunUntil(dur)
+	dumpTrace(fmt.Sprintf("fig8-%s-vms%d-dirty%.0f-seed%d", sys, vms, dirtyRatio*100, seed), p)
 	var total float64
 	for _, g := range gens {
 		total += g.WrittenBytes()

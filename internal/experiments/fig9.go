@@ -74,7 +74,7 @@ func runFig9Point(iorch bool, seed uint64, kind string, vms int, dur sim.Duratio
 	if iorch {
 		sys = iorchestra.SystemIOrchestra
 	}
-	p := iorchestra.NewPlatform(sys, seed,
+	p := tracedPlatform(sys, seed,
 		iorchestra.WithPolicies(iorchestra.Policies{Congestion: true}))
 	var pers []workload.Personality
 	for i := 0; i < vms; i++ {
@@ -108,6 +108,7 @@ func runFig9Point(iorch bool, seed uint64, kind string, vms int, dur sim.Duratio
 		per.Start()
 	}
 	p.Kernel.RunUntil(dur)
+	dumpTrace(fmt.Sprintf("fig9-%s-%s-vms%d-seed%d", sys, kind, vms, seed), p)
 	var sum float64
 	var n float64
 	for _, per := range pers {

@@ -28,13 +28,14 @@ func arrivalCfg(lambda float64, dur sim.Duration) cluster.ArrivalsConfig {
 // runArrivalPoint runs one (system, λ) dynamic experiment and reports the
 // engine for metric extraction.
 func runArrivalPoint(sys iorchestra.System, pol iorchestra.Policies, seed uint64, lambda float64, dur sim.Duration) (*cluster.Arrivals, *iorchestra.Platform) {
-	p := iorchestra.NewPlatform(sys, seed, iorchestra.WithPolicies(pol))
+	p := tracedPlatform(sys, seed, iorchestra.WithPolicies(pol))
 	a := cluster.NewArrivals(p.Kernel, p.Host, arrivalCfg(lambda, dur), cluster.VMHooks{
 		OnCreate: func(rt *hypervisor.GuestRuntime) { p.Enable(rt) },
 	}, p.Rng.Fork("arrivals"))
 	a.Start()
 	// Run past the arrival window so in-flight VMs can finish.
 	p.Kernel.RunUntil(dur + dur/4)
+	dumpTrace(fmt.Sprintf("arrivals-%s-%s-lam%g-seed%d", sys, polTag(pol), lambda, seed), p)
 	return a, p
 }
 

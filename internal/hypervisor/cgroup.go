@@ -34,8 +34,10 @@ type Cgroup struct {
 
 	// tracer, when set, records Q/D/C events for every request that
 	// crosses the host dispatch path — the blktrace feed the paper's
-	// monitoring module consumes.
-	tracer *trace.Tracer
+	// monitoring module consumes. arrivals remembers queue timestamps so
+	// completions can carry the host-path latency into the decision trace.
+	tracer   *trace.Tracer
+	arrivals map[*device.Request]sim.Time
 }
 
 type cgClass struct {
@@ -70,7 +72,12 @@ func NewCgroup(k *sim.Kernel, dev device.BlockDevice, maxInFlight int) *Cgroup {
 func (c *Cgroup) Device() device.BlockDevice { return c.dev }
 
 // SetTracer installs a blktrace-style event recorder on the dispatch path.
-func (c *Cgroup) SetTracer(t *trace.Tracer) { c.tracer = t }
+func (c *Cgroup) SetTracer(t *trace.Tracer) {
+	c.tracer = t
+	if t != nil && c.arrivals == nil {
+		c.arrivals = map[*device.Request]sim.Time{}
+	}
+}
 
 // SetWeight sets a class's proportional weight, creating the class if
 // needed (weight 0 removes it once drained).
@@ -137,6 +144,7 @@ func (c *Cgroup) Submit(id int, r *device.Request) {
 	cl.queue.Push(r)
 	if c.tracer != nil {
 		c.tracer.Record(trace.Queue, r.Owner, r.Op == device.Write, r.Size)
+		c.arrivals[r] = c.k.Now()
 	}
 	c.pump()
 }
@@ -160,7 +168,9 @@ func (c *Cgroup) pump() {
 		r.Done = func() {
 			c.inFlight--
 			if c.tracer != nil {
-				c.tracer.Record(trace.Complete, r.Owner, r.Op == device.Write, r.Size)
+				lat := c.k.Now() - c.arrivals[r]
+				delete(c.arrivals, r)
+				c.tracer.RecordComplete(r.Owner, r.Op == device.Write, r.Size, lat)
 			}
 			if done != nil {
 				done()

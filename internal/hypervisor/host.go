@@ -57,6 +57,13 @@ type Config struct {
 	StoreLatency sim.Duration
 	// MaxDeviceInFlight caps host dispatch concurrency at the device.
 	MaxDeviceInFlight int
+	// Trace enables the unified decision-trace recorder: store writes and
+	// watch fires, guest congestion engagements, policy decisions and
+	// per-request device events all land in one (sim-time, seq)-ordered
+	// stream exportable as NDJSON. TraceCapacity bounds the event ring
+	// (default trace.DefaultRecorderCapacity).
+	Trace         bool
+	TraceCapacity int
 }
 
 func (c *Config) fillDefaults() {
@@ -117,6 +124,7 @@ type Host struct {
 	guestOrder []store.DomID
 	nextDom    store.DomID
 	tracer     *trace.Tracer
+	rec        *trace.Recorder // nil unless Config.Trace
 
 	// coreLoad[socket][core] counts VCPUs pinned to that core.
 	coreLoad [][]int
@@ -155,6 +163,14 @@ func New(k *sim.Kernel, cfg Config, rng *stats.Stream) *Host {
 	h.cg = NewCgroup(k, cfg.Device, cfg.MaxDeviceInFlight)
 	h.tracer = trace.New(k, cfg.Device.Name(), 0)
 	h.cg.SetTracer(h.tracer)
+	if cfg.Trace {
+		h.rec = trace.NewRecorder(k, cfg.TraceCapacity)
+		h.tracer.SetRecorder(h.rec)
+		st.SetRecorder(h.rec)
+		if dr, ok := cfg.Device.(interface{ SetRecorder(*trace.Recorder) }); ok {
+			dr.SetRecorder(h.rec)
+		}
+	}
 	h.coreLoad = make([][]int, cfg.Sockets)
 	h.pcores = make([][]*PCore, cfg.Sockets)
 	for s := range h.coreLoad {
@@ -195,6 +211,10 @@ func (h *Host) Cgroup() *Cgroup { return h.cg }
 // Tracer exposes the blktrace-style host I/O event feed the monitoring
 // module samples.
 func (h *Host) Tracer() *trace.Tracer { return h.tracer }
+
+// Recorder exposes the unified decision-trace recorder (nil unless the
+// host was built with Config.Trace).
+func (h *Host) Recorder() *trace.Recorder { return h.rec }
 
 // IOCores lists dedicated polling cores (empty in ModeBackend).
 func (h *Host) IOCores() []*IOCore { return h.iocores }
@@ -306,7 +326,10 @@ func (h *Host) attachDisk(rt *GuestRuntime, dc guest.DiskConfig) {
 			h.route(rt, r)
 		})
 	})
-	rt.G.AddDisk(dc, front)
+	v := rt.G.AddDisk(dc, front)
+	if h.rec != nil {
+		v.Queue.SetRecorder(h.rec, int(rt.G.ID()))
+	}
 }
 
 // route delivers a guest request to the configured host path.

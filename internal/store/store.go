@@ -16,8 +16,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"iorchestra/internal/sim"
+	"iorchestra/internal/trace"
 )
 
 // DomID identifies a domain. Domain 0 is the privileged control domain
@@ -73,13 +75,28 @@ type watch struct {
 }
 
 // Store is the system store. Create with New.
+//
+// Node data follows the simulation kernel's single-goroutine discipline,
+// but watch registration is also exercised from test harnesses and
+// drivers living on other goroutines, so the watch table has its own
+// lock: Watch, Unwatch and notification delivery are safe to interleave
+// concurrently.
 type Store struct {
 	k             *sim.Kernel
 	root          *node
-	watches       map[WatchID]*watch
-	nextWatch     WatchID
 	notifyLatency sim.Duration
 	version       uint64
+
+	// watchMu guards watches and nextWatch. fireWatches snapshots the
+	// table under the lock, and in-flight notifications re-check
+	// registration under it at delivery time (XenStore drops events whose
+	// watch was removed while they were queued).
+	watchMu   sync.Mutex
+	watches   map[WatchID]*watch
+	nextWatch WatchID
+
+	// rec, when set, receives store.write and store.watch trace records.
+	rec *trace.Recorder
 
 	// Stats counters exposed for overhead accounting.
 	reads, writes, notifies uint64
@@ -222,9 +239,16 @@ func (s *Store) Write(dom DomID, path, value string) error {
 	n.value = value
 	n.version = s.version
 	s.writes++
+	if s.rec != nil {
+		s.rec.Record(trace.Record{Kind: trace.KindStoreWrite, Dom: int(dom), Path: path, Value: value})
+	}
 	s.fireWatches(path, value)
 	return nil
 }
+
+// SetRecorder mirrors every store write and delivered watch notification
+// into the decision-trace recorder.
+func (s *Store) SetRecorder(r *trace.Recorder) { s.rec = r }
 
 // Remove deletes the node at path (and its subtree) on behalf of dom.
 func (s *Store) Remove(dom DomID, path string) error {
@@ -313,6 +337,8 @@ func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (Wa
 	if err != nil {
 		return 0, err
 	}
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
 	s.nextWatch++
 	id := s.nextWatch
 	s.watches[id] = &watch{id: id, dom: dom, prefix: parts, fn: fn}
@@ -320,7 +346,11 @@ func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (Wa
 }
 
 // Unwatch removes a watch; unknown ids are ignored.
-func (s *Store) Unwatch(id WatchID) { delete(s.watches, id) }
+func (s *Store) Unwatch(id WatchID) {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	delete(s.watches, id)
+}
 
 func hasPrefix(path, prefix []string) bool {
 	if len(prefix) > len(path) {
@@ -339,29 +369,39 @@ func (s *Store) fireWatches(path, value string) {
 	if err != nil {
 		return
 	}
-	// Deterministic delivery order: ascending watch id.
-	ids := make([]WatchID, 0, len(s.watches))
-	for id := range s.watches {
-		ids = append(ids, id)
+	// Snapshot the watch table under the lock, then match and schedule
+	// outside it so callbacks cannot deadlock against Watch/Unwatch.
+	s.watchMu.Lock()
+	matched := make([]*watch, 0, len(s.watches))
+	for _, w := range s.watches {
+		matched = append(matched, w)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		w := s.watches[id]
+	s.watchMu.Unlock()
+	// Deterministic delivery order: ascending watch id.
+	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+	for _, w := range matched {
 		if !hasPrefix(parts, w.prefix) {
 			continue
 		}
 		if n := s.lookup(parts); n != nil && !canRead(n, w.dom) {
 			continue
 		}
-		fn := w.fn
+		id, dom, fn := w.id, w.dom, w.fn
 		p, v := path, value
 		s.notifies++
 		s.k.After(s.notifyLatency, func() {
 			// The watch may have been removed while the notification was
 			// in flight; XenStore drops such events.
-			if _, ok := s.watches[id]; ok {
-				fn(p, v)
+			s.watchMu.Lock()
+			_, ok := s.watches[id]
+			s.watchMu.Unlock()
+			if !ok {
+				return
 			}
+			if s.rec != nil {
+				s.rec.Record(trace.Record{Kind: trace.KindStoreWatch, Dom: int(dom), Path: p, Value: v})
+			}
+			fn(p, v)
 		})
 	}
 }

@@ -1,0 +1,425 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/sim"
+)
+
+// Kind classifies decision-trace records. Device-path kinds mirror
+// blktrace's Q/D/C actions; the remaining kinds capture the control-plane
+// decisions of Algorithms 1–3 and the store traffic that carries them.
+// docs/ARCHITECTURE.md §7 documents which component emits each kind.
+type Kind string
+
+const (
+	// KindStoreWrite is a system-store write: Dom is the writer,
+	// Path/Value the node written.
+	KindStoreWrite Kind = "store.write"
+	// KindStoreWatch is a delivered watch notification: Dom is the
+	// watching domain, Path/Value the change that fired it.
+	KindStoreWatch Kind = "store.watch"
+
+	// KindFlushOrder is a management-module flush decision (Algorithm 1):
+	// flush_now=1 published to Dom/Disk carrying NrDirty and the device
+	// bandwidth and utilization that justified it.
+	KindFlushOrder Kind = "flush.order"
+	// KindFlushSync is the guest driver's answering sync() (Algorithm 1,
+	// notified branch), carrying the dirty-page count it is flushing.
+	KindFlushSync Kind = "flush.sync"
+
+	// KindCongestEngage is a guest queue crossing its congestion-on
+	// threshold (QueueDepth = pending requests at that instant).
+	KindCongestEngage Kind = "congest.engage"
+	// KindCongestVeto is the management module ruling the host NOT
+	// congested and releasing the querying guest (Algorithm 2).
+	KindCongestVeto Kind = "congest.veto"
+	// KindCongestConfirm is the management module confirming genuine host
+	// congestion and holding the guest (Algorithm 2).
+	KindCongestConfirm Kind = "congest.confirm"
+	// KindCongestRelease is a held guest released on host relief, FIFO
+	// with stagger (Algorithm 2).
+	KindCongestRelease Kind = "congest.release"
+	// KindQueueRelease is the guest-side collaborative release: avoidance
+	// lifted, queue unplugged, producers woken.
+	KindQueueRelease Kind = "queue.release"
+
+	// KindCoschedUpdate is a co-scheduling weight update (Sec. 3.3):
+	// CoreLatency holds the sampled per-core latencies L_i in seconds.
+	KindCoschedUpdate Kind = "cosched.update"
+	// KindCoschedMove is a guest driver migrating an I/O process to
+	// Socket in response to published weight targets.
+	KindCoschedMove Kind = "cosched.move"
+
+	// KindDevQueue / KindDevIssue / KindDevComplete are the host dispatch
+	// path's blktrace analogues (Q, D, C). KindDevComplete carries the
+	// host-path latency (arrival at the dispatcher to completion).
+	KindDevQueue    Kind = "dev.queue"
+	KindDevIssue    Kind = "dev.issue"
+	KindDevComplete Kind = "dev.complete"
+	// KindDevService is a physical member device completing one request,
+	// with its device-level service latency.
+	KindDevService Kind = "dev.service"
+)
+
+// Record is one decision-trace event. The zero value of every optional
+// field is omitted from NDJSON so traces stay compact; At and Seq are
+// stamped by the Recorder.
+type Record struct {
+	// Seq is a per-recorder monotonic sequence number; (At, Seq) is a
+	// stable total order even for events recorded at the same sim tick.
+	Seq uint64 `json:"seq"`
+	// At is the simulation timestamp in nanoseconds.
+	At sim.Time `json:"at"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Dom is the domain the event concerns (0 = the control domain).
+	Dom int `json:"dom"`
+
+	// Disk names a virtual disk (per-disk decisions), Device a physical
+	// device (device-path events).
+	Disk   string `json:"disk,omitempty"`
+	Device string `json:"device,omitempty"`
+
+	// Path and Value describe store traffic.
+	Path  string `json:"path,omitempty"`
+	Value string `json:"value,omitempty"`
+
+	// Write and Size describe block requests.
+	Write bool  `json:"write,omitempty"`
+	Size  int64 `json:"size,omitempty"`
+	// Latency is a per-request latency in nanoseconds (dev.complete:
+	// host-path; dev.service: device service time).
+	Latency sim.Time `json:"latency_ns,omitempty"`
+
+	// NrDirty is a dirty-page count (flush decisions).
+	NrDirty int64 `json:"nr_dirty,omitempty"`
+	// DeviceBps and UtilFrac are the device observations behind a flush
+	// decision (Algorithm 1's idle test).
+	DeviceBps float64 `json:"device_bps,omitempty"`
+	UtilFrac  float64 `json:"util_frac,omitempty"`
+
+	// QueueDepth and DevPending are the dispatch backlog and device queue
+	// depth behind a congestion verdict (Algorithm 2).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	DevPending int `json:"dev_pending,omitempty"`
+
+	// Socket and Weight describe co-scheduling moves; CoreLatency holds
+	// the per-core latencies (seconds) behind a weight update.
+	Socket      int       `json:"socket,omitempty"`
+	Weight      float64   `json:"weight,omitempty"`
+	CoreLatency []float64 `json:"core_latency,omitempty"`
+}
+
+// String renders the record as a one-line timeline entry.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12v dom%-3d %-16s", r.At, r.Dom, r.Kind)
+	if r.Disk != "" {
+		fmt.Fprintf(&b, " disk=%s", r.Disk)
+	}
+	if r.Device != "" {
+		fmt.Fprintf(&b, " dev=%s", r.Device)
+	}
+	if r.Path != "" {
+		fmt.Fprintf(&b, " %s=%q", r.Path, r.Value)
+	}
+	if r.Size > 0 {
+		rw := "R"
+		if r.Write {
+			rw = "W"
+		}
+		fmt.Fprintf(&b, " %s %dB", rw, r.Size)
+	}
+	if r.Latency > 0 {
+		fmt.Fprintf(&b, " lat=%v", r.Latency)
+	}
+	if r.NrDirty > 0 {
+		fmt.Fprintf(&b, " nr_dirty=%d", r.NrDirty)
+	}
+	if r.DeviceBps > 0 {
+		fmt.Fprintf(&b, " bw=%.1fMB/s", r.DeviceBps/1e6)
+	}
+	if r.QueueDepth > 0 {
+		fmt.Fprintf(&b, " qdepth=%d", r.QueueDepth)
+	}
+	if r.DevPending > 0 {
+		fmt.Fprintf(&b, " dev_pending=%d", r.DevPending)
+	}
+	if len(r.CoreLatency) > 0 {
+		fmt.Fprintf(&b, " L=%v", r.CoreLatency)
+	}
+	if r.Kind == KindCoschedMove {
+		fmt.Fprintf(&b, " ->socket%d w=%g", r.Socket, r.Weight)
+	}
+	return b.String()
+}
+
+// Recorder collects decision-trace records for one platform. It keeps a
+// bounded ring of recent records (for NDJSON export) plus unbounded
+// aggregates: per-kind counts and per-domain device-latency histograms,
+// which survive ring eviction so end-of-run summaries are exact.
+//
+// A Recorder belongs to one simulation kernel and, like the kernel, is
+// not safe for concurrent use.
+type Recorder struct {
+	k    *sim.Kernel
+	ring []Record
+	head int
+	full bool
+	seq  uint64
+
+	counts map[Kind]uint64
+	// devLat[dom] aggregates dev.complete host-path latencies, the feed
+	// for per-run metrics summaries.
+	devLat map[int]*metrics.Histogram
+}
+
+// DefaultRecorderCapacity bounds the event ring when no capacity is given.
+const DefaultRecorderCapacity = 1 << 16
+
+// NewRecorder returns a recorder bound to kernel k retaining up to
+// capacity events (default DefaultRecorderCapacity).
+func NewRecorder(k *sim.Kernel, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{
+		k:      k,
+		ring:   make([]Record, capacity),
+		counts: map[Kind]uint64{},
+		devLat: map[int]*metrics.Histogram{},
+	}
+}
+
+// Record stamps rec with the current sim time and the next sequence
+// number, folds it into the aggregates, and appends it to the ring.
+func (r *Recorder) Record(rec Record) {
+	rec.At = r.k.Now()
+	rec.Seq = r.seq
+	r.seq++
+	r.counts[rec.Kind]++
+	if rec.Kind == KindDevComplete {
+		h := r.devLat[rec.Dom]
+		if h == nil {
+			h = metrics.NewHistogram()
+			r.devLat[rec.Dom] = h
+		}
+		h.Record(rec.Latency)
+	}
+	r.ring[r.head] = rec
+	r.head = (r.head + 1) % len(r.ring)
+	if r.head == 0 {
+		r.full = true
+	}
+}
+
+// Recorded reports the lifetime number of records (>= len(Events())).
+func (r *Recorder) Recorded() uint64 { return r.seq }
+
+// Dropped reports records evicted from the ring by capacity pressure.
+func (r *Recorder) Dropped() uint64 {
+	if !r.full {
+		return 0
+	}
+	return r.seq - uint64(len(r.ring))
+}
+
+// Count reports the lifetime number of records of one kind.
+func (r *Recorder) Count(kind Kind) uint64 { return r.counts[kind] }
+
+// Counts returns a copy of the lifetime per-kind counters.
+func (r *Recorder) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// DomainLatency exposes the per-domain host-path completion-latency
+// histogram (nil if the domain completed no requests).
+func (r *Recorder) DomainLatency(dom int) *metrics.Histogram { return r.devLat[dom] }
+
+// Events returns the retained records oldest-first. (At, Seq) is already
+// non-decreasing, so no sort is needed.
+func (r *Recorder) Events() []Record {
+	if !r.full {
+		out := make([]Record, r.head)
+		copy(out, r.ring[:r.head])
+		return out
+	}
+	out := make([]Record, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out
+}
+
+// WriteNDJSON encodes the retained records, one JSON object per line.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	return WriteNDJSON(w, r.Events())
+}
+
+// WriteNDJSON encodes records as newline-delimited JSON.
+func WriteNDJSON(w io.Writer, events []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON decodes newline-delimited JSON records; blank lines are
+// skipped, and a malformed line aborts with an error naming it.
+func ReadNDJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Summaries --------------------------------------------------------------
+
+// DomainSummary aggregates one domain's decision activity over a trace.
+type DomainSummary struct {
+	Dom        int
+	Counts     map[Kind]uint64
+	DevLatency *metrics.Histogram // host-path completion latencies
+	First      sim.Time
+	Last       sim.Time
+}
+
+// Summary aggregates a whole trace for reporting.
+type Summary struct {
+	Domains []*DomainSummary // ascending domain id
+	Counts  map[Kind]uint64  // all domains
+	First   sim.Time
+	Last    sim.Time
+	Total   int
+}
+
+// Summarize folds a record slice (e.g. from ReadNDJSON or
+// Recorder.Events) into per-domain decision summaries.
+func Summarize(events []Record) *Summary {
+	s := &Summary{Counts: map[Kind]uint64{}, First: sim.Forever}
+	byDom := map[int]*DomainSummary{}
+	for _, e := range events {
+		s.Total++
+		s.Counts[e.Kind]++
+		if e.At < s.First {
+			s.First = e.At
+		}
+		if e.At > s.Last {
+			s.Last = e.At
+		}
+		d := byDom[e.Dom]
+		if d == nil {
+			d = &DomainSummary{
+				Dom:        e.Dom,
+				Counts:     map[Kind]uint64{},
+				DevLatency: metrics.NewHistogram(),
+				First:      sim.Forever,
+			}
+			byDom[e.Dom] = d
+		}
+		d.Counts[e.Kind]++
+		if e.At < d.First {
+			d.First = e.At
+		}
+		if e.At > d.Last {
+			d.Last = e.At
+		}
+		if e.Kind == KindDevComplete {
+			d.DevLatency.Record(e.Latency)
+		}
+	}
+	if s.Total == 0 {
+		s.First = 0
+	}
+	for _, d := range byDom {
+		s.Domains = append(s.Domains, d)
+	}
+	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Dom < s.Domains[j].Dom })
+	return s
+}
+
+// summaryKinds is the presentation order of decision counters.
+var summaryKinds = []struct {
+	kind  Kind
+	label string
+}{
+	{KindFlushOrder, "flush orders"},
+	{KindFlushSync, "flush syncs"},
+	{KindCongestEngage, "congest engages"},
+	{KindCongestVeto, "congest vetoes"},
+	{KindCongestConfirm, "congest confirms"},
+	{KindCongestRelease, "congest releases"},
+	{KindQueueRelease, "queue releases"},
+	{KindCoschedUpdate, "cosched updates"},
+	{KindCoschedMove, "cosched moves"},
+	{KindStoreWrite, "store writes"},
+	{KindStoreWatch, "watch fires"},
+}
+
+// Format renders the summary as the per-domain decision report the
+// iorchestra-trace CLI prints.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %v – %v\n", s.Total, s.First, s.Last)
+	for _, kl := range summaryKinds {
+		if n := s.Counts[kl.kind]; n > 0 {
+			fmt.Fprintf(&b, "  total %s: %d\n", kl.label, n)
+		}
+	}
+	for _, d := range s.Domains {
+		fmt.Fprintf(&b, "dom%d:", d.Dom)
+		wrote := false
+		for _, kl := range summaryKinds {
+			if n := d.Counts[kl.kind]; n > 0 {
+				if wrote {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, " %d %s", n, kl.label)
+				wrote = true
+			}
+		}
+		if nc := d.Counts[KindDevComplete]; nc > 0 {
+			if wrote {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %d completions (p50 %v, p99 %v device latency)",
+				nc, d.DevLatency.Percentile(50), d.DevLatency.Percentile(99))
+			wrote = true
+		}
+		if !wrote {
+			b.WriteString(" no decision activity")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

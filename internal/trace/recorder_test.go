@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iorchestra/internal/sim"
+)
+
+// TestRecorderSameTickOrdering: events recorded at the same sim tick keep
+// their recording order — Seq is strictly increasing and Events() returns
+// them (At, Seq)-sorted without any re-sort.
+func TestRecorderSameTickOrdering(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 16)
+	kinds := []Kind{KindFlushOrder, KindCongestVeto, KindCoschedUpdate, KindStoreWrite}
+	for i, kd := range kinds {
+		r.Record(Record{Kind: kd, Dom: i})
+	}
+	evs := r.Events()
+	if len(evs) != len(kinds) {
+		t.Fatalf("Events len = %d, want %d", len(evs), len(kinds))
+	}
+	for i, e := range evs {
+		if e.At != 0 {
+			t.Fatalf("event %d At = %v, want 0 (same tick)", i, e.At)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Kind != kinds[i] {
+			t.Fatalf("event %d Kind = %s, want %s (stable order)", i, e.Kind, kinds[i])
+		}
+	}
+}
+
+// TestRecorderRingEviction: the ring keeps the newest capacity events,
+// oldest-first, while lifetime counters stay exact.
+func TestRecorderRingEviction(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(Record{Kind: KindStoreWrite, Dom: i})
+	}
+	if got := r.Recorded(); got != 10 {
+		t.Fatalf("Recorded = %d, want 10", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	if got := r.Count(KindStoreWrite); got != 10 {
+		t.Fatalf("Count = %d, want 10 (lifetime, not ring)", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d (oldest-first)", i, e.Seq, want)
+		}
+	}
+}
+
+// TestNDJSONRoundTrip: records with every field populated survive the
+// encode/decode cycle byte-exactly.
+func TestNDJSONRoundTrip(t *testing.T) {
+	in := []Record{
+		{Seq: 0, At: 1_000_000, Kind: KindStoreWrite, Dom: 1,
+			Path: "/local/domain/1/virt-dev/xvda/nr_dirty", Value: "512"},
+		{Seq: 1, At: 1_000_000, Kind: KindFlushOrder, Dom: 1, Disk: "xvda",
+			NrDirty: 512, DeviceBps: 12.5e6, UtilFrac: 0.03},
+		{Seq: 2, At: 2_500_000, Kind: KindCongestVeto, Dom: 2, Disk: "xvda",
+			QueueDepth: 7, DevPending: 3},
+		{Seq: 3, At: 2_500_000, Kind: KindCoschedUpdate, Dom: 0,
+			Weight: 1.75, CoreLatency: []float64{0.001, 0.004}},
+		{Seq: 4, At: 3_000_000, Kind: KindDevComplete, Dom: 3, Write: true,
+			Size: 1 << 20, Latency: 8_100_000},
+		{Seq: 5, At: 3_000_001, Kind: KindCoschedMove, Dom: 3, Socket: 1, Weight: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestReadNDJSONSkipsBlankAndReportsBadLines documents the loader's error
+// contract: blank lines are fine, malformed ones abort with a line number.
+func TestReadNDJSONSkipsBlankAndReportsBadLines(t *testing.T) {
+	good := `{"seq":0,"at":1,"kind":"flush.order","dom":1}
+
+{"seq":1,"at":2,"kind":"flush.sync","dom":1}
+`
+	out, err := ReadNDJSON(strings.NewReader(good))
+	if err != nil || len(out) != 2 {
+		t.Fatalf("ReadNDJSON = %d records, %v", len(out), err)
+	}
+	_, err = ReadNDJSON(strings.NewReader(good + "{not json}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("bad line error = %v, want line 4", err)
+	}
+}
+
+// TestRecorderDeviceLatencyFeed: dev.complete records feed the per-domain
+// metrics histograms that back per-run summaries.
+func TestRecorderDeviceLatencyFeed(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 8)
+	for i := 1; i <= 4; i++ {
+		r.Record(Record{Kind: KindDevComplete, Dom: 3,
+			Latency: sim.Time(i) * sim.Time(sim.Millisecond)})
+	}
+	h := r.DomainLatency(3)
+	if h == nil || h.Count() != 4 {
+		t.Fatalf("DomainLatency(3) = %v", h)
+	}
+	if r.DomainLatency(4) != nil {
+		t.Fatal("DomainLatency(4) should be nil (no completions)")
+	}
+}
+
+// TestSummarizeFormat: the CLI summary names each decision family and the
+// per-domain completion latency percentiles.
+func TestSummarizeFormat(t *testing.T) {
+	evs := []Record{
+		{Seq: 0, At: 1, Kind: KindFlushOrder, Dom: 3, Disk: "xvda"},
+		{Seq: 1, At: 2, Kind: KindFlushSync, Dom: 3, Disk: "xvda"},
+		{Seq: 2, At: 3, Kind: KindCongestVeto, Dom: 3},
+		{Seq: 3, At: 4, Kind: KindDevComplete, Dom: 3, Latency: 8_100_000},
+	}
+	s := Summarize(evs)
+	if s.Total != 4 || len(s.Domains) != 1 || s.Domains[0].Dom != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	text := s.Format()
+	for _, want := range []string{"dom3:", "1 flush orders", "1 flush syncs",
+		"1 congest vetoes", "1 completions"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -64,6 +64,10 @@ type Tracer struct {
 
 	completes *metrics.WindowRate // bytes completed, trailing window
 	queues    *metrics.WindowRate // requests queued, trailing window
+
+	// rec, when set, receives each event as a typed decision-trace record
+	// (dev.queue / dev.issue / dev.complete) for the unified pipeline.
+	rec *Recorder
 }
 
 // New returns a tracer with a ring of the given capacity (default 4096)
@@ -81,8 +85,23 @@ func New(k *sim.Kernel, device string, capacity int) *Tracer {
 	}
 }
 
-// Record appends an event.
+// SetRecorder forwards every event into the unified decision-trace
+// recorder in addition to the local ring and aggregates.
+func (t *Tracer) SetRecorder(r *Recorder) { t.rec = r }
+
+// Record appends an event. Completions should use RecordComplete so the
+// host-path latency reaches the decision trace.
 func (t *Tracer) Record(kind EventKind, owner int, write bool, size int64) {
+	t.record(kind, owner, write, size, 0)
+}
+
+// RecordComplete appends a completion event carrying the host-path
+// latency (arrival at the dispatcher to completion).
+func (t *Tracer) RecordComplete(owner int, write bool, size int64, latency sim.Duration) {
+	t.record(Complete, owner, write, size, latency)
+}
+
+func (t *Tracer) record(kind EventKind, owner int, write bool, size int64, latency sim.Duration) {
 	e := Event{At: t.k.Now(), Kind: kind, Device: t.device, Owner: owner, Write: write, Size: size}
 	t.ring[t.head] = e
 	t.head = (t.head + 1) % len(t.ring)
@@ -94,6 +113,19 @@ func (t *Tracer) Record(kind EventKind, owner int, write bool, size int64) {
 		t.completes.Add(e.At, float64(size))
 	case Queue:
 		t.queues.Add(e.At, 1)
+	}
+	if t.rec != nil {
+		rk := KindDevQueue
+		switch kind {
+		case Issue:
+			rk = KindDevIssue
+		case Complete:
+			rk = KindDevComplete
+		}
+		t.rec.Record(Record{
+			Kind: rk, Dom: owner, Device: t.device,
+			Write: write, Size: size, Latency: latency,
+		})
 	}
 }
 

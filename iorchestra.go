@@ -30,6 +30,7 @@ import (
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/trace"
 )
 
 // Re-exported core types, so downstream users work through one import.
@@ -56,6 +57,10 @@ type (
 	Policies = core.Policies
 	// Stream is a deterministic random stream.
 	Stream = stats.Stream
+	// TraceRecorder is the unified decision-trace recorder.
+	TraceRecorder = trace.Recorder
+	// TraceRecord is one decision-trace event.
+	TraceRecord = trace.Record
 )
 
 // Re-exported duration constants.
@@ -113,6 +118,8 @@ type options struct {
 	havePol    bool
 	managerCfg core.ManagerConfig
 	deviceFn   func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice
+	trace      bool
+	traceCap   int
 }
 
 // WithHostConfig overrides the host configuration (sockets, cores,
@@ -141,6 +148,18 @@ func WithDevice(fn func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice) Op
 	return func(o *options) { o.deviceFn = fn }
 }
 
+// WithTracing enables the unified decision-trace recorder: system-store
+// writes and watch fires, flush-control orders, congestion verdicts and
+// releases, co-scheduling updates and moves, and per-request device
+// events all land in one (sim-time, seq)-ordered stream on
+// Platform.Trace, exportable as NDJSON for cmd/iorchestra-trace.
+// capacity bounds the retained event ring (<= 0 selects the default);
+// per-kind counts and per-domain latency histograms are lifetime exact
+// regardless of ring eviction.
+func WithTracing(capacity int) Option {
+	return func(o *options) { o.trace = true; o.traceCap = capacity }
+}
+
 // Platform is an assembled system under test: one host (use
 // cluster.Testbed for multi-host setups) with the chosen system's
 // components installed.
@@ -156,6 +175,9 @@ type Platform struct {
 	DIF *baselines.DIF
 	// SDC is non-nil for SystemSDC.
 	SDC *baselines.SDC
+	// Trace is the unified decision-trace recorder (nil unless the
+	// platform was built WithTracing).
+	Trace *trace.Recorder
 }
 
 // NewPlatform builds a fresh kernel and host configured for the system.
@@ -195,8 +217,12 @@ func NewPlatform(sys System, seed uint64, opts ...Option) *Platform {
 	if o.deviceFn != nil {
 		cfg.Device = o.deviceFn(k, rng.Fork("device"))
 	}
+	if o.trace {
+		cfg.Trace = true
+		cfg.TraceCapacity = o.traceCap
+	}
 	h := hypervisor.New(k, cfg, rng.Fork("host"))
-	p := &Platform{Kernel: k, Host: h, Sys: sys, Rng: rng}
+	p := &Platform{Kernel: k, Host: h, Sys: sys, Rng: rng, Trace: h.Recorder()}
 	switch sys {
 	case SystemIOrchestra:
 		p.Manager = core.NewManager(h, pol, o.managerCfg, rng.Fork("mgr"))
