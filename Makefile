@@ -1,7 +1,7 @@
 # Standard verification pipeline: `make check` is what CI runs.
 GO ?= go
 
-.PHONY: all build vet test race check experiments clean
+.PHONY: all build vet test race check chaos experiments clean
 
 all: check
 
@@ -19,6 +19,11 @@ race:
 	$(GO) test -race ./...
 
 check: vet build test race
+
+# Fault-injection smoke: sweeps uncooperative-guest fractions and
+# control-plane fault rates at quick scale (docs/FAULTS.md).
+chaos:
+	$(GO) run ./cmd/experiments -run chaos
 
 # Quick-scale regeneration of every paper figure, with decision traces.
 experiments:

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"iorchestra"
@@ -24,15 +25,34 @@ import (
 	"iorchestra/internal/workload"
 )
 
+// formatCounts renders an injection-counter map as "kind=n" pairs in
+// stable order.
+func formatCounts(c map[string]uint64) string {
+	if len(c) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, c[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
 func main() {
 	system := flag.String("system", "iorchestra", "baseline | sdc | dif | iorchestra")
-	wl := flag.String("workload", "fs", "fs | ws | vs | multistream | ycsb1 | ycsb2 | blast | cloud9")
+	wl := flag.String("workload", "fs", "fs | burstyfs | ws | vs | multistream | ycsb1 | ycsb2 | blast | cloud9")
 	vms := flag.Int("vms", 4, "number of VMs")
 	vcpus := flag.Int("vcpus", 2, "VCPUs (and GB of memory) per VM")
 	seconds := flag.Int("seconds", 30, "virtual seconds to simulate")
 	rate := flag.Float64("rate", 2000, "request rate for ycsb workloads (req/s)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write an NDJSON decision trace to this file (see cmd/iorchestra-trace)")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. uncoop=0.5,crash=0.25@2s+3s,stucksync=0.5 (see docs/FAULTS.md)")
 	flag.Parse()
 
 	var sys iorchestra.System
@@ -54,6 +74,14 @@ func main() {
 	if *traceOut != "" {
 		popts = append(popts, iorchestra.WithTracing(0))
 	}
+	if *faults != "" {
+		spec, err := iorchestra.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		popts = append(popts, iorchestra.WithFaults(spec))
+	}
 	p := iorchestra.NewPlatform(sys, *seed, popts...)
 	dur := sim.Duration(*seconds) * iorchestra.Second
 
@@ -69,12 +97,42 @@ func main() {
 		})
 	}
 
+	// burstyfs is the Fig. 8-style flush-prone profile: buffered write
+	// bursts against a small dirty budget, leaving idle windows where
+	// Algorithm 1 can act. The scenario that exercises flush orders (and,
+	// with -faults, the flush-deadline machinery — docs/FAULTS.md).
+	newBurstyVM := func(i int) workload.Personality {
+		vm := p.NewVM(*vcpus, *vcpus, guest.DiskConfig{
+			Name: "xvda",
+			CacheConfig: pagecache.Config{
+				TotalPages:      (1 << 30) / pagecache.PageSize,
+				DirtyRatio:      0.2,
+				BackgroundRatio: 0.1,
+				WritebackWindow: 64,
+			},
+		})
+		return workload.NewFS(p.Kernel, vm.G, vm.G.Disks()[0], workload.FSConfig{
+			Threads: *vcpus, MeanFileSize: 1 << 20, Think: 6 * sim.Millisecond,
+			WriteFrac: 0.8, AppendFrac: 0.1, ReadFrac: 0.05,
+			BurstOn: 1500 * sim.Millisecond, BurstOff: 3500 * sim.Millisecond,
+		}, p.Rng.Fork(fmt.Sprintf("wl%d", i)))
+	}
+
 	switch strings.ToLower(*wl) {
-	case "fs", "ws", "vs", "multistream":
+	case "fs", "burstyfs", "ws", "vs", "multistream":
 		for i := 0; i < *vms; i++ {
+			var per workload.Personality
+			if strings.ToLower(*wl) == "burstyfs" {
+				per = newBurstyVM(i)
+				per.Start()
+				per2 := per
+				results = append(results, func() (*metrics.Histogram, float64) {
+					return per2.Ops().Latency, 0
+				})
+				continue
+			}
 			vm := newVM()
 			rng := p.Rng.Fork(fmt.Sprintf("wl%d", i))
-			var per workload.Personality
 			switch strings.ToLower(*wl) {
 			case "fs":
 				per = workload.NewFS(p.Kernel, vm.G, vm.G.Disks()[0], workload.FSConfig{Threads: *vcpus}, rng)
@@ -154,9 +212,18 @@ func main() {
 		fmt.Printf("iorchestra: %d flush notices, %d vetoes, %d confirms, %d relieves, %d cosched runs\n",
 			p.Manager.FlushNotices(), p.Manager.Vetoes(), p.Manager.Confirms(),
 			p.Manager.Relieves(), p.Manager.CoschedRuns())
+		fmt.Printf("degradation: %d heartbeat misses, %d flush timeouts, %d release retries, %d release timeouts, %d hold timeouts, %d fallbacks, %d restores\n",
+			p.Manager.HeartbeatMisses(), p.Manager.FlushTimeouts(),
+			p.Manager.ReleaseRetries(), p.Manager.ReleaseTimeouts(),
+			p.Manager.HoldTimeouts(), p.Manager.Fallbacks(), p.Manager.Restores())
 	}
 	r, w, n := p.Host.Store().Stats()
 	fmt.Printf("system store: %d reads, %d writes, %d notifications\n", r, w, n)
+	if p.Faults != nil {
+		fmt.Printf("faults injected: %d total (%s)\n", p.Faults.Total(), formatCounts(p.Faults.Counts()))
+		dw, dn, dl := p.Host.Store().FaultStats()
+		fmt.Printf("store faults: %d dropped writes, %d dropped notifies, %d delayed notifies\n", dw, dn, dl)
+	}
 
 	if *traceOut != "" && p.Trace != nil {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,232 @@
+package core
+
+// Graceful-degradation invariants (docs/FAULTS.md): a guest that stops
+// cooperating — stuck sync, crashed driver, lost release notifications —
+// must be demoted to Baseline behavior after a bounded number of
+// deadline-limited attempts, siblings must keep full collaboration, and
+// recovery (driver re-registration or resumed heartbeats after the
+// penalty) must restore the guest. These run under -race in CI.
+
+import (
+	"strings"
+	"testing"
+
+	"iorchestra/internal/blkio"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+)
+
+func mkPlatformCfg(t *testing.T, pol Policies, cfg ManagerConfig, seed uint64) (*sim.Kernel, *hypervisor.Host, *Manager) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := stats.NewStream(seed, "platform")
+	h := hypervisor.New(k, hypervisor.Config{}, rng.Fork("host"))
+	return k, h, NewManager(h, pol, cfg, rng.Fork("mgr"))
+}
+
+func flushyGuest(h *hypervisor.Host) *hypervisor.GuestRuntime {
+	return h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+			// The guest's own flusher is effectively off: only IOrchestra
+			// (or nothing) drains these caches within the test horizon.
+			WakeInterval: 60 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+		}})
+}
+
+// A guest whose sync() never completes must burn its bounded flush
+// retries, fall back, and stop shadowing its sibling in the argmax — and
+// once its syncs work again, resumed heartbeats must restore it after the
+// penalty and let the manager drain it.
+func TestStuckSyncGuestSkippedAndSiblingFlushed(t *testing.T) {
+	k, h, m := mkPlatformCfg(t, Policies{Flush: true}, ManagerConfig{
+		FlushCheckInterval: 20 * sim.Millisecond,
+		FlushTimeout:       100 * sim.Millisecond,
+		FlushCooldown:      50 * sim.Millisecond,
+		FlushMaxRetries:    2,
+		FallbackPenalty:    500 * sim.Millisecond,
+	}, 11)
+	rt1, rt2 := flushyGuest(h), flushyGuest(h)
+	d1, d2 := m.EnableGuest(rt1), m.EnableGuest(rt2)
+	d1.SetSyncFault(func(string) bool { return true })
+	p1, p2 := rt1.G.NewProcess(1), rt2.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		rt1.G.Disk("xvda").Write(p1, 64<<20, nil) // argmax: the stuck guest
+		rt2.G.Disk("xvda").Write(p2, 32<<20, nil)
+	})
+	k.RunUntil(2 * sim.Second)
+	if d1.StuckSyncs() == 0 {
+		t.Fatal("sync fault never exercised")
+	}
+	if got := m.FlushTimeouts(); got < 3 {
+		t.Fatalf("flush timeouts = %d, want >= FlushMaxRetries+1", got)
+	}
+	if m.Fallbacks() == 0 {
+		t.Fatal("stuck guest never fell back")
+	}
+	// The loop proceeded: the sibling was flushed despite the stuck argmax
+	// winner, and its cache drained.
+	if d2.Flushes() == 0 {
+		t.Fatal("sibling never flushed — one bad guest stalled Algorithm 1")
+	}
+	if rt2.G.Disk("xvda").Cache.DirtyPages() != 0 {
+		t.Fatal("sibling cache not drained")
+	}
+	// Recovery: syncs work again, heartbeats were never interrupted, so
+	// after the penalty the guest is restored and finally drained.
+	d1.SetSyncFault(nil)
+	k.RunUntil(8 * sim.Second)
+	if m.Restores() == 0 {
+		t.Fatal("guest never restored after penalty")
+	}
+	if !m.Cooperative(rt1.G.ID()) {
+		t.Fatal("recovered guest still non-cooperative")
+	}
+	if rt1.G.Disk("xvda").Cache.DirtyPages() != 0 {
+		t.Fatal("recovered guest's cache not drained")
+	}
+	if d1.Flushes() == 0 {
+		t.Fatal("recovered guest never handled a flush order")
+	}
+}
+
+// A crashed driver stops heartbeating; the manager must demote the guest
+// at the next decision site, and a driver re-registration (module reload)
+// must restore it immediately — no penalty wait.
+func TestCrashedDriverFallsBackAndRestartRestores(t *testing.T) {
+	k, h, m := mkPlatformCfg(t, Policies{Flush: true}, ManagerConfig{}, 12)
+	rt := flushyGuest(h)
+	drv := m.EnableGuest(rt)
+	dom := rt.G.ID()
+	k.RunUntil(500 * sim.Millisecond)
+	if !m.Cooperative(dom) {
+		t.Fatal("healthy heartbeating guest reported non-cooperative")
+	}
+	k.At(sim.Second, drv.Crash)
+	k.RunUntil(2 * sim.Second)
+	if !drv.Crashed() {
+		t.Fatal("driver not crashed")
+	}
+	if m.Cooperative(dom) {
+		t.Fatal("guest with 1s-stale heartbeat still cooperative")
+	}
+	if m.HeartbeatMisses() == 0 || m.Fallbacks() == 0 || !m.InFallback(dom) {
+		t.Fatalf("miss/fallback not recorded: misses=%d fallbacks=%d",
+			m.HeartbeatMisses(), m.Fallbacks())
+	}
+	k.At(k.Now()+500*sim.Millisecond, drv.Restart)
+	k.RunUntil(3 * sim.Second)
+	if m.Restores() == 0 || m.InFallback(dom) {
+		t.Fatalf("re-registration did not restore: restores=%d", m.Restores())
+	}
+	if !m.Cooperative(dom) {
+		t.Fatal("restarted guest not cooperative")
+	}
+}
+
+// congestedGuest reproduces the Sec. 2 false-trigger shape: a tiny guest
+// queue crosses 7/8 while the host array is uncongested, so the manager
+// vetoes and must get release_request through to the guest.
+func congestedGuest(k *sim.Kernel, h *hypervisor.Host, m *Manager) (*hypervisor.GuestRuntime, *Driver) {
+	rt := h.CreateGuest(guest.Config{VCPUs: 1, MemBytes: 1 << 30},
+		guest.DiskConfig{Name: "xvda", QueueConfig: blkio.Config{Limit: 16, DispatchWindow: 4}})
+	drv := m.EnableGuest(rt)
+	d := rt.G.Disk("xvda")
+	p := rt.G.NewProcess(1)
+	k.At(sim.Millisecond, func() {
+		for i := 0; i < 40; i++ {
+			d.Read(p, 64<<10, false, nil)
+		}
+	})
+	return rt, drv
+}
+
+// A lost release notification must be re-published after the ack timeout
+// and still reach the guest.
+func TestReleaseRetryRecoversLostNotification(t *testing.T) {
+	k, h, m := mkPlatformCfg(t, Policies{Congestion: true}, ManagerConfig{}, 13)
+	rt, drv := congestedGuest(k, h, m)
+	dom := rt.G.ID()
+	dropped := 0
+	h.Store().SetFaultHooks(&store.FaultHooks{
+		Delivery: func(d store.DomID, path string) (sim.Duration, bool) {
+			if d == dom && strings.HasSuffix(path, keyReleaseRequest) && dropped < 1 {
+				dropped++
+				return 0, true
+			}
+			return 0, false
+		},
+	})
+	k.RunUntil(3 * sim.Second)
+	if dropped == 0 {
+		t.Fatal("fault never injected")
+	}
+	if m.ReleaseRetries() == 0 {
+		t.Fatal("lost release never retried")
+	}
+	if drv.Releases() == 0 {
+		t.Fatal("guest never released despite retry")
+	}
+	if m.ReleaseTimeouts() != 0 || m.InFallback(dom) {
+		t.Fatal("single lost delivery must not exhaust retries")
+	}
+	if got := rt.G.Disk("xvda").Queue.Completed(); got != 40 {
+		t.Fatalf("completed %d/40", got)
+	}
+}
+
+// A guest that never acks exhausts the bounded retries, falls back, and
+// the workload still completes on the kernel's local self-lift — the
+// Baseline path.
+func TestNeverAckingGuestFallsBackAndCompletes(t *testing.T) {
+	k, h, m := mkPlatformCfg(t, Policies{Congestion: true}, ManagerConfig{}, 14)
+	rt, _ := congestedGuest(k, h, m)
+	dom := rt.G.ID()
+	h.Store().SetFaultHooks(&store.FaultHooks{
+		Delivery: func(d store.DomID, path string) (sim.Duration, bool) {
+			// Every release delivery to the guest is lost: the driver can
+			// never act, the manager must give up on its own.
+			return 0, d == dom && strings.HasSuffix(path, keyReleaseRequest)
+		},
+	})
+	k.RunUntil(5 * sim.Second)
+	if m.ReleaseRetries() == 0 || m.ReleaseTimeouts() == 0 {
+		t.Fatalf("retries=%d timeouts=%d, want both > 0",
+			m.ReleaseRetries(), m.ReleaseTimeouts())
+	}
+	if m.Fallbacks() == 0 {
+		t.Fatal("never-acking guest never demoted")
+	}
+	// The driver itself is alive and heartbeating (only its release
+	// notifications are lost), so after FallbackPenalty the heartbeat path
+	// legitimately restores it — InFallback may be false again by now.
+	if got := rt.G.Disk("xvda").Queue.Completed(); got != 40 {
+		t.Fatalf("completed %d/40 — degradation stalled the guest's own I/O", got)
+	}
+}
+
+func TestDisableGuestForgetsDegradationState(t *testing.T) {
+	k, h, m := mkPlatformCfg(t, Policies{Flush: true}, ManagerConfig{}, 15)
+	rt := flushyGuest(h)
+	drv := m.EnableGuest(rt)
+	dom := rt.G.ID()
+	k.At(sim.Second, drv.Crash)
+	k.RunUntil(2 * sim.Second)
+	if m.Cooperative(dom) {
+		t.Fatal("crashed guest cooperative")
+	}
+	m.DisableGuest(dom)
+	if m.Driver(dom) != nil || m.InFallback(dom) {
+		t.Fatal("DisableGuest left state behind")
+	}
+	// Counters keep their history; a fresh guest starts clean.
+	rt2 := flushyGuest(h)
+	m.EnableGuest(rt2)
+	k.RunUntil(3 * sim.Second)
+	if !m.Cooperative(rt2.G.ID()) {
+		t.Fatal("fresh guest not cooperative")
+	}
+}

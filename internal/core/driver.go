@@ -10,6 +10,7 @@ import (
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
 	"iorchestra/internal/trace"
 )
 
@@ -36,11 +37,22 @@ type Driver struct {
 	ReleaseGrace sim.Duration
 	// NrUpdateInterval rate-limits nr_dirty store updates (default 50 ms).
 	NrUpdateInterval sim.Duration
+	// HeartbeatInterval paces the iorchestra/heartbeat counter the
+	// manager uses for liveness (default 100 ms; <= 0 disables).
+	HeartbeatInterval sim.Duration
+
+	// Liveness machinery and fault-injection state.
+	watchID   store.WatchID
+	hb        *sim.Ticker
+	hbCount   int64
+	crashed   bool
+	syncFault func(disk string) bool // non-nil only under fault injection
 
 	// Stats.
-	flushes   uint64
-	releases  uint64
-	rebalance uint64
+	flushes    uint64
+	releases   uint64
+	rebalance  uint64
+	stuckSyncs uint64
 }
 
 type diskDriver struct {
@@ -62,21 +74,24 @@ type diskDriver struct {
 // mirrored to the store, and all watches are registered.
 func NewDriver(h *hypervisor.Host, rt *hypervisor.GuestRuntime, rng *stats.Stream) *Driver {
 	drv := &Driver{
-		k:                h.Kernel(),
-		g:                rt.G,
-		dom:              rt.Dom,
-		rng:              rng,
-		rec:              h.Recorder(),
-		disks:            map[string]*diskDriver{},
-		QueryInterval:    5 * sim.Millisecond,
-		ReleaseGrace:     50 * sim.Millisecond,
-		NrUpdateInterval: 50 * sim.Millisecond,
+		k:                 h.Kernel(),
+		g:                 rt.G,
+		dom:               rt.Dom,
+		rng:               rng,
+		rec:               h.Recorder(),
+		disks:             map[string]*diskDriver{},
+		QueryInterval:     5 * sim.Millisecond,
+		ReleaseGrace:      50 * sim.Millisecond,
+		NrUpdateInterval:  50 * sim.Millisecond,
+		HeartbeatInterval: 100 * sim.Millisecond,
 	}
 	// Register per-domain keys (guest-owned so both sides can write —
 	// nodes created by Dom0 under a guest's subtree would be unreadable
 	// to the guest).
 	drv.dom.WriteBool(keyReleaseRequest, false)
 	drv.dom.WriteInt(keyTotalWeight, 0)
+	drv.dom.WriteInt(keyHeartbeat, 0)
+	drv.dom.WriteBool(keyFallback, false)
 	for _, s := range rt.G.Sockets() {
 		drv.dom.WriteFloat(socketKey(keyTargetPrefix, s), -1)
 		drv.dom.WriteFloat(socketKey(keySharePrefix, s), -1)
@@ -86,7 +101,11 @@ func NewDriver(h *hypervisor.Host, rt *hypervisor.GuestRuntime, rng *stats.Strea
 	}
 	drv.PublishWeights()
 	// One watch over the domain subtree dispatches every notification.
-	drv.dom.Watch("", drv.onStoreEvent)
+	drv.watchID, _ = drv.dom.Watch("", drv.onStoreEvent)
+	// Announce the driver and start heartbeating: the registration write
+	// doubles as the first proof of life.
+	drv.dom.WriteBool(keyDriverPresent, true)
+	drv.startHeartbeat()
 	return drv
 }
 
@@ -113,6 +132,102 @@ func (drv *Driver) Releases() uint64 { return drv.releases }
 
 // Rebalances reports co-scheduling process redistributions applied.
 func (drv *Driver) Rebalances() uint64 { return drv.rebalance }
+
+// StuckSyncs reports flush orders lost to an injected stuck sync().
+func (drv *Driver) StuckSyncs() uint64 { return drv.stuckSyncs }
+
+// Crashed reports whether the driver is currently dead.
+func (drv *Driver) Crashed() bool { return drv.crashed }
+
+// SetSyncFault installs a fault-injection predicate consulted on every
+// flush order; a true return means the sync() sticks forever and
+// flush_now is never reset (see internal/fault).
+func (drv *Driver) SetSyncFault(fn func(disk string) bool) { drv.syncFault = fn }
+
+// --- Liveness and lifecycle ------------------------------------------------
+
+// startHeartbeat arms the periodic iorchestra/heartbeat write, the
+// manager's liveness signal.
+func (drv *Driver) startHeartbeat() {
+	if drv.HeartbeatInterval <= 0 {
+		return
+	}
+	drv.hb = drv.k.Every(drv.HeartbeatInterval, func() {
+		drv.hbCount++
+		drv.dom.WriteInt(keyHeartbeat, drv.hbCount)
+	})
+}
+
+// detach silences the driver: heartbeat stopped, watch torn down, cache
+// and queue hooks unhooked, pending nr_dirty timers cancelled.
+func (drv *Driver) detach() {
+	if drv.hb != nil {
+		drv.hb.Stop()
+		drv.hb = nil
+	}
+	drv.dom.Unwatch(drv.watchID)
+	for _, dd := range drv.disks {
+		dd.v.Cache.OnDirtyChange = nil
+		dd.v.Queue.SetController(nil) // back to the kernel's LocalController
+		if dd.nrTimer != nil {
+			drv.k.Cancel(dd.nrTimer)
+			dd.nrTimer = nil
+			dd.havePending = false
+		}
+	}
+}
+
+// Crash simulates the driver dying abruptly: everything it registered is
+// torn down with no goodbye write, so its store keys go stale exactly as
+// a crashed kernel module's XenStore state would. The guest itself keeps
+// running on stock Linux behavior — the local congestion controller and
+// the page cache's own flusher threads take over.
+func (drv *Driver) Crash() {
+	if drv.crashed {
+		return
+	}
+	drv.crashed = true
+	drv.detach()
+}
+
+// Restart re-registers a crashed driver, as a guest reloading the module
+// would: hooks reattached, current dirty state republished, watch and
+// heartbeat restored, and iorchestra/driver rewritten so the manager
+// lifts the guest's fallback immediately.
+func (drv *Driver) Restart() {
+	if !drv.crashed {
+		return
+	}
+	drv.crashed = false
+	for _, dd := range drv.disks {
+		dd.v.Cache.OnDirtyChange = dd.onDirtyChange
+		dd.v.Queue.SetController(dd)
+		nr := dd.v.Cache.DirtyPages()
+		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), nr > 0)
+		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), nr)
+		drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
+		drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), false)
+	}
+	drv.watchID, _ = drv.dom.Watch("", drv.onStoreEvent)
+	drv.PublishWeights()
+	// A release the manager published while we were dead must still be
+	// honoured, or the producers it meant to wake stay parked.
+	if v, _ := drv.dom.ReadBool(keyReleaseRequest); v {
+		drv.handleRelease()
+	}
+	drv.dom.WriteBool(keyDriverPresent, true)
+	drv.startHeartbeat()
+}
+
+// Close shuts the driver down for guest removal: like Crash it detaches
+// everything, but it is deliberate, so no restart is expected. Managers
+// call it through DisableGuest.
+func (drv *Driver) Close() {
+	if !drv.crashed {
+		drv.detach()
+		drv.crashed = true
+	}
+}
 
 // --- Dirty-page mirroring (Algorithm 1, guest side) -----------------------
 
@@ -212,6 +327,13 @@ func (drv *Driver) onStoreEvent(rel, value string) {
 // wakes the flusher threads, then reset flush_now.
 func (dd *diskDriver) handleFlushNow() {
 	drv := dd.drv
+	if drv.syncFault != nil && drv.syncFault(dd.name) {
+		// Injected stuck sync: the order arrived but the guest's sync()
+		// never completes, so flush_now stays set — the manager's flush
+		// deadline is the only recovery path.
+		drv.stuckSyncs++
+		return
+	}
 	drv.flushes++
 	if drv.rec != nil {
 		drv.rec.Record(trace.Record{

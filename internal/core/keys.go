@@ -69,6 +69,22 @@ const (
 	// latency; the guest migrates one I/O process per update toward them
 	// (Sec. 3.3).
 	keyTargetPrefix = "io/target"
+
+	// keyDriverPresent (bool, iorchestra/driver) — written "1" by the
+	// guest driver at registration and again on every restart; the
+	// manager treats the write as proof of a live, collaborative driver
+	// and immediately restores a fallen-back guest.
+	keyDriverPresent = "iorchestra/driver"
+	// keyHeartbeat (int, iorchestra/heartbeat) — monotonic counter the
+	// guest driver bumps every Driver.HeartbeatInterval (default 100 ms).
+	// The manager's liveness signal: a beat older than HeartbeatTimeout
+	// demotes the guest to Baseline behavior.
+	keyHeartbeat = "iorchestra/heartbeat"
+	// keyFallback (bool, iorchestra/fallback) — manager-written mirror of
+	// the guest's degradation state ("1" while the guest is treated as
+	// Baseline), published for operators and the trace CLI; nothing in
+	// the control plane reads it back.
+	keyFallback = "iorchestra/fallback"
 )
 
 // diskKey builds the relative path of a per-disk key.

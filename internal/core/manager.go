@@ -49,6 +49,31 @@ type ManagerConfig struct {
 	// latency there is no contention worth rebalancing, and migrations
 	// would only disturb cache and CPU co-location.
 	CoschedMinLatency sim.Duration
+
+	// Graceful degradation (docs/FAULTS.md). The paper's host waits on
+	// guest cooperation; these bounds make every wait finite so one bad
+	// guest can never stall a loop or starve siblings.
+
+	// HeartbeatTimeout demotes a guest whose iorchestra/heartbeat is
+	// older than this to Baseline behavior (default 350 ms — three
+	// missed 100 ms beats plus delivery slack). <= 0 disables the check.
+	HeartbeatTimeout sim.Duration
+	// FlushMaxRetries bounds re-issued flush orders per (guest, disk)
+	// after a FlushTimeout expiry before the guest falls back.
+	FlushMaxRetries int
+	// ReleaseAckTimeout re-publishes an unacknowledged release_request
+	// (the ack is the guest's reset to 0); <= 0 disables retries.
+	ReleaseAckTimeout sim.Duration
+	// ReleaseMaxRetries bounds release re-publishes before fallback.
+	ReleaseMaxRetries int
+	// HoldDeadline force-releases a guest held in congestion avoidance
+	// this long even if the host still looks congested — the safety
+	// valve against a stuck device starving held guests forever.
+	HoldDeadline sim.Duration
+	// FallbackPenalty is how long a fallen-back guest must heartbeat
+	// again before it is restored (a driver re-registration restores it
+	// immediately).
+	FallbackPenalty sim.Duration
 }
 
 func (c *ManagerConfig) fillDefaults() {
@@ -82,11 +107,49 @@ func (c *ManagerConfig) fillDefaults() {
 	if c.CoschedMinLatency <= 0 {
 		c.CoschedMinLatency = 150 * sim.Microsecond
 	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 350 * sim.Millisecond
+	}
+	if c.FlushMaxRetries <= 0 {
+		c.FlushMaxRetries = 2
+	}
+	if c.ReleaseAckTimeout <= 0 {
+		c.ReleaseAckTimeout = 100 * sim.Millisecond
+	}
+	if c.ReleaseMaxRetries <= 0 {
+		c.ReleaseMaxRetries = 3
+	}
+	if c.HoldDeadline <= 0 {
+		c.HoldDeadline = 5 * sim.Second
+	}
+	if c.FallbackPenalty <= 0 {
+		c.FallbackPenalty = 2 * sim.Second
+	}
 }
 
 type congEntry struct {
+	dom   store.DomID
+	disk  string
+	since sim.Time // when the guest was confirmed held (HoldDeadline clock)
+}
+
+// retryKey indexes bounded-retry state per (guest, disk).
+type retryKey struct {
 	dom  store.DomID
 	disk string
+}
+
+// fallbackState marks a guest demoted to Baseline behavior.
+type fallbackState struct {
+	reason string
+	since  sim.Time
+}
+
+// releaseState tracks an unacknowledged release_request.
+type releaseState struct {
+	disk    string
+	retries int
+	timer   *sim.Event
 }
 
 type dirtyState struct {
@@ -131,6 +194,25 @@ type Manager struct {
 	lastApply    sim.Time
 	coschedRuns  uint64
 	coschedOff   map[store.DomID]bool
+
+	// Graceful-degradation state (docs/FAULTS.md).
+	lastBeat     map[store.DomID]sim.Time
+	fallback     map[store.DomID]*fallbackState
+	flushRetries map[retryKey]int
+	pendingRel   map[store.DomID]*releaseState
+	// withdrawn counts the manager's own flush_now=0 withdrawal writes
+	// whose watch notifications are still in flight: they must not be
+	// mistaken for guest acks (the notification arrives a latency later,
+	// possibly after the next order went out).
+	withdrawn map[retryKey]int
+
+	flushTimeouts   uint64
+	heartbeatMisses uint64
+	releaseRetries  uint64
+	releaseTimeouts uint64
+	holdTimeouts    uint64
+	fallbacks       uint64
+	restores        uint64
 }
 
 // NewManager attaches IOrchestra's hypervisor modules to h with the given
@@ -139,16 +221,21 @@ type Manager struct {
 func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.Stream) *Manager {
 	cfg.fillDefaults()
 	m := &Manager{
-		h:          h,
-		k:          h.Kernel(),
-		st:         h.Store(),
-		rng:        rng,
-		pol:        pol,
-		cfg:        cfg,
-		rec:        h.Recorder(),
-		drivers:    map[store.DomID]*Driver{},
-		dirty:      map[store.DomID]map[string]*dirtyState{},
-		coschedOff: map[store.DomID]bool{},
+		h:            h,
+		k:            h.Kernel(),
+		st:           h.Store(),
+		rng:          rng,
+		pol:          pol,
+		cfg:          cfg,
+		rec:          h.Recorder(),
+		drivers:      map[store.DomID]*Driver{},
+		dirty:        map[store.DomID]map[string]*dirtyState{},
+		coschedOff:   map[store.DomID]bool{},
+		lastBeat:     map[store.DomID]sim.Time{},
+		fallback:     map[store.DomID]*fallbackState{},
+		flushRetries: map[retryKey]int{},
+		pendingRel:   map[store.DomID]*releaseState{},
+		withdrawn:    map[retryKey]int{},
 	}
 	// The management module is called when there is a change on watched
 	// items (Fig. 3): one privileged watch over all domains.
@@ -161,10 +248,54 @@ func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.
 func (m *Manager) EnableGuest(rt *hypervisor.GuestRuntime) *Driver {
 	drv := NewDriver(m.h, rt, m.rng.Fork("drv"+strconv.Itoa(int(rt.G.ID()))))
 	m.drivers[rt.G.ID()] = drv
+	// Registration counts as the first heartbeat: the real one arrives
+	// through the store a notification latency later.
+	m.lastBeat[rt.G.ID()] = m.k.Now()
 	if m.pol.Cosched {
 		m.armCosched()
 	}
 	return drv
+}
+
+// DisableGuest closes a guest's driver and forgets every piece of policy
+// state about it — the teardown path for guest removal (the arrival
+// experiments call it through Platform.Disable). Safe to call for guests
+// that were never enabled.
+func (m *Manager) DisableGuest(dom store.DomID) {
+	drv := m.drivers[dom]
+	if drv == nil {
+		return
+	}
+	drv.Close()
+	delete(m.drivers, dom)
+	delete(m.dirty, dom)
+	delete(m.lastBeat, dom)
+	delete(m.fallback, dom)
+	delete(m.coschedOff, dom)
+	if rs := m.pendingRel[dom]; rs != nil {
+		m.k.Cancel(rs.timer)
+		delete(m.pendingRel, dom)
+	}
+	kept := m.held[:0]
+	for _, e := range m.held {
+		if e.dom != dom {
+			kept = append(kept, e)
+		}
+	}
+	m.held = kept
+	if m.outstandingDom == dom {
+		m.outstandingDom = 0
+	}
+	for rk := range m.flushRetries {
+		if rk.dom == dom {
+			delete(m.flushRetries, rk)
+		}
+	}
+	for rk := range m.withdrawn {
+		if rk.dom == dom {
+			delete(m.withdrawn, rk)
+		}
+	}
 }
 
 // Driver returns the installed driver for a domain (nil if not enabled).
@@ -184,6 +315,31 @@ func (m *Manager) Relieves() uint64 { return m.relieves }
 
 // CoschedRuns reports co-scheduling weight updates applied.
 func (m *Manager) CoschedRuns() uint64 { return m.coschedRuns }
+
+// FlushTimeouts reports flush orders abandoned at the deadline.
+func (m *Manager) FlushTimeouts() uint64 { return m.flushTimeouts }
+
+// HeartbeatMisses reports stale-heartbeat detections.
+func (m *Manager) HeartbeatMisses() uint64 { return m.heartbeatMisses }
+
+// ReleaseRetries reports re-published release_request orders.
+func (m *Manager) ReleaseRetries() uint64 { return m.releaseRetries }
+
+// ReleaseTimeouts reports releases that exhausted their retries.
+func (m *Manager) ReleaseTimeouts() uint64 { return m.releaseTimeouts }
+
+// HoldTimeouts reports guests force-released at the hold deadline.
+func (m *Manager) HoldTimeouts() uint64 { return m.holdTimeouts }
+
+// Fallbacks reports guests demoted to Baseline behavior.
+func (m *Manager) Fallbacks() uint64 { return m.fallbacks }
+
+// Restores reports guests restored to collaborative mode.
+func (m *Manager) Restores() uint64 { return m.restores }
+
+// InFallback reports whether dom is currently demoted (read-only; use
+// Cooperative to also run the lazy heartbeat check).
+func (m *Manager) InFallback(dom store.DomID) bool { return m.fallback[dom] != nil }
 
 // DisableCosched excludes one guest from co-scheduling decisions (weight
 // targets and quanta); ablation experiments use it to hold a guest's
@@ -233,14 +389,152 @@ func (m *Manager) onStoreEvent(path, value string) {
 				m.handleCongestQuery(dom, disk)
 			}
 		case keyFlushNow:
-			if value == "0" && dom == m.outstandingDom && disk == m.outstandingDisk {
-				m.outstandingDom = 0 // guest answered; allow the next flush
+			if value == "0" {
+				rk := retryKey{dom: dom, disk: disk}
+				if m.withdrawn[rk] > 0 {
+					// Our own withdrawal echoing back — not a guest ack.
+					if m.withdrawn[rk]--; m.withdrawn[rk] == 0 {
+						delete(m.withdrawn, rk)
+					}
+					return
+				}
+				if dom == m.outstandingDom && disk == m.outstandingDisk {
+					m.outstandingDom = 0 // guest answered; allow the next flush
+					delete(m.flushRetries, rk)
+				}
 			}
+		}
+	case rel == keyHeartbeat:
+		m.noteHeartbeat(dom)
+	case rel == keyDriverPresent:
+		if value == "1" {
+			m.noteDriverRegistered(dom)
+		}
+	case rel == keyReleaseRequest:
+		// The manager writes "1"; the guest's reset to "0" is the ack.
+		if value == "0" {
+			m.noteReleaseAck(dom)
 		}
 	case strings.HasPrefix(rel, keyWeightPrefix+"/") || rel == keyTotalWeight:
 		if m.pol.Cosched {
 			m.armCosched()
 		}
+	}
+}
+
+// --- Graceful degradation ---------------------------------------------------
+//
+// The collaborative functions assume a live driver on the other side of
+// the store. When one guest stops cooperating — no driver, crashed
+// driver, stuck sync, lost notifications — the manager demotes exactly
+// that guest to Baseline behavior: skipped by Algorithm 1's argmax, no
+// verdicts in Algorithm 2 (the guest's kernel falls back to its local
+// avoidance), excluded from Algorithm 3's redistribution. Siblings keep
+// full collaboration. docs/FAULTS.md is the runbook.
+
+// cooperative reports whether dom may participate in collaborative
+// decisions, lazily demoting it on a stale heartbeat — the check runs at
+// decision sites, so detection costs nothing while everyone is healthy.
+func (m *Manager) cooperative(dom store.DomID) bool {
+	if _, ok := m.drivers[dom]; !ok {
+		return false
+	}
+	if m.fallback[dom] != nil {
+		return false
+	}
+	if t := m.cfg.HeartbeatTimeout; t > 0 {
+		if last, ok := m.lastBeat[dom]; ok && m.k.Now()-last > t {
+			m.heartbeatMisses++
+			if m.rec != nil {
+				m.rec.Record(trace.Record{
+					Kind: trace.KindHeartbeatMiss, Dom: int(dom),
+					Latency: m.k.Now() - last,
+				})
+			}
+			m.enterFallback(dom, "heartbeat")
+			return false
+		}
+	}
+	return true
+}
+
+// Cooperative is the exported probe: it runs the same lazy heartbeat
+// check the decision loops use.
+func (m *Manager) Cooperative(dom store.DomID) bool { return m.cooperative(dom) }
+
+func (m *Manager) noteHeartbeat(dom store.DomID) {
+	m.lastBeat[dom] = m.k.Now()
+	// A fallen-back guest that has served its penalty and is beating
+	// again earns its way back to collaborative mode.
+	if fb := m.fallback[dom]; fb != nil && m.k.Now()-fb.since >= m.cfg.FallbackPenalty {
+		m.exitFallback(dom, "heartbeat-resumed")
+	}
+}
+
+func (m *Manager) noteDriverRegistered(dom store.DomID) {
+	m.lastBeat[dom] = m.k.Now()
+	if m.fallback[dom] != nil {
+		m.exitFallback(dom, "driver-registered")
+	}
+}
+
+// enterFallback demotes dom to Baseline behavior and unsticks anything
+// the manager was holding or expecting from it.
+func (m *Manager) enterFallback(dom store.DomID, reason string) {
+	if m.fallback[dom] != nil {
+		return
+	}
+	m.fallback[dom] = &fallbackState{reason: reason, since: m.k.Now()}
+	m.fallbacks++
+	if m.rec != nil {
+		m.rec.Record(trace.Record{Kind: trace.KindFallbackEnter, Dom: int(dom), Value: reason})
+	}
+	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, true)
+	// Stop expecting acks from a guest we no longer trust.
+	if rs := m.pendingRel[dom]; rs != nil {
+		m.k.Cancel(rs.timer)
+		delete(m.pendingRel, dom)
+	}
+	if m.outstandingDom == dom {
+		m.outstandingDom = 0
+	}
+	// Anything still held must not stay parked behind a dead protocol:
+	// publish one last best-effort release (a live-but-slow driver will
+	// act on it; a dead one leaves its queues to the local controller).
+	var wasHeld bool
+	kept := m.held[:0]
+	for _, e := range m.held {
+		if e.dom == dom {
+			wasHeld = true
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	m.held = kept
+	if wasHeld {
+		m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+	}
+}
+
+// exitFallback restores dom to collaborative mode with a clean slate.
+func (m *Manager) exitFallback(dom store.DomID, reason string) {
+	if m.fallback[dom] == nil {
+		return
+	}
+	delete(m.fallback, dom)
+	m.restores++
+	if m.rec != nil {
+		m.rec.Record(trace.Record{Kind: trace.KindFallbackExit, Dom: int(dom), Value: reason})
+	}
+	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, false)
+	for rk := range m.flushRetries {
+		if rk.dom == dom {
+			delete(m.flushRetries, rk)
+		}
+	}
+	m.lastBeat[dom] = m.k.Now() // fresh grace window
+	if m.anyDirty() {
+		m.armFlush()
 	}
 }
 
@@ -314,7 +608,28 @@ func (m *Manager) flushTick() {
 		if now-m.outstandingSince < m.cfg.FlushTimeout {
 			return
 		}
+		// Deadline expired: the guest never answered flush_now. Withdraw
+		// the stale order, count a bounded retry against the pair, and
+		// after FlushMaxRetries demote the guest so the argmax below can
+		// never pick the same dead guest forever while live candidates
+		// starve.
+		dom, disk := m.outstandingDom, m.outstandingDisk
 		m.outstandingDom = 0
+		m.flushTimeouts++
+		rk := retryKey{dom: dom, disk: disk}
+		m.flushRetries[rk]++
+		if m.rec != nil {
+			m.rec.Record(trace.Record{
+				Kind: trace.KindFlushTimeout, Dom: int(dom), Disk: disk,
+				Value: strconv.Itoa(m.flushRetries[rk]),
+			})
+		}
+		m.withdrawn[rk]++
+		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyFlushNow), false)
+		if m.flushRetries[rk] > m.cfg.FlushMaxRetries {
+			delete(m.flushRetries, rk)
+			m.enterFallback(dom, "flush-deadline")
+		}
 	}
 	// Algorithm 1's trigger, taken literally: act only when the device
 	// moves less than one tenth of its capacity. A busy device means some
@@ -333,6 +648,11 @@ func (m *Manager) flushTick() {
 	var bestDisk string
 	var bestNr int64 = -1
 	for dom, byDisk := range m.dirty {
+		if !m.cooperative(dom) {
+			// Fallback guests are Baseline guests: their own flusher
+			// threads own the dirty pages (Algorithm 1 skips them).
+			continue
+		}
 		for disk, ds := range byDisk {
 			if ds.hasDirty && ds.nr > bestNr && now-ds.lastGrow > 200*sim.Millisecond {
 				bestDom, bestDisk, bestNr = dom, disk, ds.nr
@@ -360,6 +680,11 @@ func (m *Manager) flushTick() {
 // handleCongestQuery answers a guest's congestion query: confirm when the
 // host device is genuinely overcrowded, otherwise release the guest.
 func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
+	if !m.cooperative(dom) {
+		// No verdict for a fallback guest: its kernel's local avoidance
+		// (engage at 7/8, release below 13/16) is exactly Baseline.
+		return
+	}
 	// Reset the query flag so subsequent queries re-fire the watch.
 	m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongestQuery), false)
 	if m.h.IOCongested() {
@@ -371,13 +696,73 @@ func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
 				return
 			}
 		}
-		m.held = append(m.held, congEntry{dom: dom, disk: disk})
+		m.held = append(m.held, congEntry{dom: dom, disk: disk, since: m.k.Now()})
 		m.armCongestion()
 		return
 	}
 	m.vetoes++
-	m.recordCongestion(trace.KindCongestVeto, dom, disk)
+	m.requestRelease(dom, disk, trace.KindCongestVeto)
+}
+
+// requestRelease records the verdict, publishes release_request=1 and
+// arms the bounded ack-retry machinery: a lost notification must not
+// leave the guest's producers parked forever.
+func (m *Manager) requestRelease(dom store.DomID, disk string, kind trace.Kind) {
+	m.recordCongestion(kind, dom, disk)
 	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+	m.armReleaseRetry(dom, disk)
+}
+
+func (m *Manager) armReleaseRetry(dom store.DomID, disk string) {
+	if m.cfg.ReleaseAckTimeout <= 0 || m.pendingRel[dom] != nil {
+		return
+	}
+	rs := &releaseState{disk: disk}
+	m.pendingRel[dom] = rs
+	rs.timer = m.k.After(m.cfg.ReleaseAckTimeout, func() { m.releaseRetryTick(dom, rs) })
+}
+
+func (m *Manager) releaseRetryTick(dom store.DomID, rs *releaseState) {
+	if m.pendingRel[dom] != rs {
+		return
+	}
+	// The guest resets release_request to 0 when it acts; a still-set key
+	// means the order (or its notification) was lost.
+	if v, _ := m.st.ReadBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest); !v {
+		delete(m.pendingRel, dom)
+		return
+	}
+	if rs.retries >= m.cfg.ReleaseMaxRetries {
+		delete(m.pendingRel, dom)
+		m.releaseTimeouts++
+		if m.rec != nil {
+			m.rec.Record(trace.Record{
+				Kind: trace.KindReleaseTimeout, Dom: int(dom), Disk: rs.disk,
+				Value: strconv.Itoa(rs.retries),
+			})
+		}
+		m.enterFallback(dom, "release-deadline")
+		return
+	}
+	rs.retries++
+	m.releaseRetries++
+	if m.rec != nil {
+		m.rec.Record(trace.Record{
+			Kind: trace.KindReleaseRetry, Dom: int(dom), Disk: rs.disk,
+			Value: strconv.Itoa(rs.retries),
+		})
+	}
+	// Re-publish: the write re-fires the guest's watch even though the
+	// value does not change.
+	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+	rs.timer = m.k.After(m.cfg.ReleaseAckTimeout, func() { m.releaseRetryTick(dom, rs) })
+}
+
+func (m *Manager) noteReleaseAck(dom store.DomID) {
+	if rs := m.pendingRel[dom]; rs != nil {
+		m.k.Cancel(rs.timer)
+		delete(m.pendingRel, dom)
+	}
 }
 
 // recordCongestion traces an Algorithm 2 verdict with the host queue
@@ -410,7 +795,27 @@ func (m *Manager) armCongestion() {
 // no longer congested, release held VMs in FIFO order, interleaved with a
 // random 0–99 ms stagger.
 func (m *Manager) congestionTick() {
-	if len(m.held) == 0 || m.h.IOCongested() {
+	if len(m.held) == 0 {
+		return
+	}
+	now := m.k.Now()
+	if m.h.IOCongested() {
+		// Still congested — but nobody may be held past HoldDeadline: a
+		// device stuck in a degraded state (or a torn congested key)
+		// must not park a guest's producers forever.
+		if m.cfg.HoldDeadline <= 0 {
+			return
+		}
+		kept := m.held[:0]
+		for _, e := range m.held {
+			if now-e.since >= m.cfg.HoldDeadline {
+				m.holdTimeouts++
+				m.requestRelease(e.dom, e.disk, trace.KindHoldTimeout)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		m.held = kept
 		return
 	}
 	var offset sim.Duration
@@ -418,8 +823,7 @@ func (m *Manager) congestionTick() {
 		dom, disk := e.dom, e.disk
 		m.relieves++
 		m.k.After(offset, func() {
-			m.recordCongestion(trace.KindCongestRelease, dom, disk)
-			m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
+			m.requestRelease(dom, disk, trace.KindCongestRelease)
 		})
 		offset += sim.Duration(m.rng.Int63n(int64(m.cfg.ReleaseStaggerMax)))
 	}
@@ -478,7 +882,7 @@ func (m *Manager) coschedTick() bool {
 	m.coschedRuns++
 	if m.rec != nil {
 		m.rec.Record(trace.Record{
-			Kind: trace.KindCoschedUpdate,
+			Kind:        trace.KindCoschedUpdate,
 			CoreLatency: append([]float64(nil), lat...),
 			Weight:      ratio,
 		})
@@ -493,7 +897,7 @@ func (m *Manager) coschedTick() bool {
 	}
 	contended := maxOf(lat) >= m.cfg.CoschedMinLatency.Seconds()
 	for dom, drv := range m.drivers {
-		if !contended || len(drv.g.Sockets()) < 2 || m.coschedOff[dom] {
+		if !contended || len(drv.g.Sockets()) < 2 || m.coschedOff[dom] || !m.cooperative(dom) {
 			continue
 		}
 		for _, s := range drv.g.Sockets() {
@@ -520,7 +924,10 @@ func (m *Manager) coschedTick() bool {
 	type coreShare struct{ sum float64 }
 	shares := make([]coreShare, len(cores))
 	for dom, drv := range m.drivers {
-		if m.coschedOff[dom] {
+		if m.coschedOff[dom] || m.fallback[dom] != nil {
+			// Fallback guests keep their last-applied static weights
+			// (Algorithm 3 degradation) — their stale store state must
+			// not keep steering quanta.
 			continue
 		}
 		base := store.DomainPath(dom)

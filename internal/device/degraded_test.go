@@ -1,0 +1,75 @@
+package device
+
+import (
+	"testing"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// A Degraded member must cap delivered throughput at capacity/factor
+// while still reporting the nominal spec-sheet capacity.
+func TestDegradedThrottlesButReportsNominal(t *testing.T) {
+	k := sim.NewKernel()
+	inner := testSSD(k)
+	d := NewDegraded(k, inner, 4)
+	if d.CapacityBps() != inner.CapacityBps() {
+		t.Fatal("Degraded must report the nominal capacity")
+	}
+	if d.Name() != inner.Name() || d.QueueLimit() != inner.QueueLimit() {
+		t.Fatal("passthroughs wrong")
+	}
+	var doneAt sim.Time
+	const size = 8 << 20
+	n := 0
+	for i := 0; i < 4; i++ {
+		d.Submit(&Request{Op: Read, Size: size, Sequential: true, Done: func() {
+			n++
+			doneAt = k.Now()
+		}})
+	}
+	if d.Pending() == 0 || d.Idle() {
+		t.Fatal("staged requests not visible in Pending/Idle")
+	}
+	k.Run()
+	if n != 4 {
+		t.Fatalf("completed %d/4", n)
+	}
+	if !d.Idle() {
+		t.Fatal("not idle after drain")
+	}
+	// The single-server throttle serializes at factor× the transfer time,
+	// so four requests take at least 4·factor·size/capacity.
+	minWall := sim.Duration(4 * 4 * float64(size) / inner.CapacityBps() * float64(sim.Second))
+	if doneAt < sim.Time(minWall) {
+		t.Fatalf("drained in %v, faster than the 4x throttle allows (%v)", doneAt, minWall)
+	}
+}
+
+// PaperArrayWith must produce the same member randomness as PaperArray
+// and let a wrapper replace individual members.
+func TestPaperArrayWithWrapsMembers(t *testing.T) {
+	k := sim.NewKernel()
+	wrapped := 0
+	a := PaperArrayWith(k, stats.NewStream(3, "array"), func(i int, m BlockDevice) BlockDevice {
+		if i == 3 {
+			wrapped++
+			return NewDegraded(k, m, 8)
+		}
+		return m
+	})
+	if wrapped != 1 {
+		t.Fatalf("wrap called for %d members, want 1", wrapped)
+	}
+	if _, ok := a.Members()[3].(*Degraded); !ok {
+		t.Fatal("member 3 not degraded")
+	}
+	if _, ok := a.Members()[0].(*Degraded); ok {
+		t.Fatal("member 0 wrongly degraded")
+	}
+	// Nominal capacity is unchanged by degradation.
+	b := PaperArray(k, stats.NewStream(3, "array"))
+	if a.CapacityBps() != b.CapacityBps() {
+		t.Fatal("degraded array must report nominal aggregate capacity")
+	}
+}

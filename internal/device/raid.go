@@ -33,10 +33,24 @@ func NewRAID0(k *sim.Kernel, name string, members []BlockDevice, stripeSize int6
 // PaperArray builds the evaluation platform's storage: eight Intel 520
 // SSDs in RAID0 with a 256 KiB stripe.
 func PaperArray(k *sim.Kernel, rng *stats.Stream) *RAID0 {
+	return PaperArrayWith(k, rng, nil)
+}
+
+// PaperArrayWith builds the paper array but lets the caller wrap each
+// member as it is assembled — the fault layer uses this to slip Degraded
+// throttles in front of individual SSDs. A nil wrap (or a wrap returning
+// its argument) leaves the member untouched; member RNG forks are taken
+// before wrapping, so wrapped and unwrapped arrays draw identical service
+// randomness.
+func PaperArrayWith(k *sim.Kernel, rng *stats.Stream, wrap func(i int, m BlockDevice) BlockDevice) *RAID0 {
 	members := make([]BlockDevice, 8)
 	for i := range members {
 		cfg := Intel520Config(fmt.Sprintf("ssd%d", i))
-		members[i] = NewSSD(k, cfg, rng.Fork(cfg.Name))
+		var m BlockDevice = NewSSD(k, cfg, rng.Fork(cfg.Name))
+		if wrap != nil {
+			m = wrap(i, m)
+		}
+		members[i] = m
 	}
 	return NewRAID0(k, "md0", members, 256<<10)
 }

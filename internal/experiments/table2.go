@@ -31,6 +31,10 @@ func runArrivalPoint(sys iorchestra.System, pol iorchestra.Policies, seed uint64
 	p := tracedPlatform(sys, seed, iorchestra.WithPolicies(pol))
 	a := cluster.NewArrivals(p.Kernel, p.Host, arrivalCfg(lambda, dur), cluster.VMHooks{
 		OnCreate: func(rt *hypervisor.GuestRuntime) { p.Enable(rt) },
+		// Departing VMs must release their manager state (driver, watches,
+		// heartbeat ledger, held congestion entries) or the degradation
+		// layer would count them as heartbeat-dead forever.
+		OnRemove: func(rt *hypervisor.GuestRuntime) { p.Disable(rt) },
 	}, p.Rng.Fork("arrivals"))
 	a.Start()
 	// Run past the arrival window so in-flight VMs can finish.

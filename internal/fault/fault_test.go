@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"testing"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"uncoop=0.5",
+		"crash=0.25@2s+3s",
+		"crash=1",
+		"watchdelay=10ms:0.3",
+		"watchdrop=0.05",
+		"stalewrite=0.02",
+		"stucksync=0.5",
+		"member=3:8",
+		"uncoop=0.5,crash=0.25@2s+3s,watchdelay=10ms:0.3,watchdrop=0.05,stalewrite=0.02,stucksync=0.5,member=0:100,member=3:8",
+	}
+	for _, raw := range cases {
+		s, err := ParseSpec(raw)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", raw, err)
+		}
+		if got := s.String(); got != raw {
+			t.Errorf("ParseSpec(%q).String() = %q", raw, got)
+		}
+		// String() must itself re-parse to the same spec.
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", s.String(), err)
+		}
+		if s2.String() != s.String() {
+			t.Errorf("round-trip drift: %q vs %q", s.String(), s2.String())
+		}
+	}
+}
+
+func TestParseSpecFields(t *testing.T) {
+	s, err := ParseSpec("uncoop=0.5, crash=0.25@2s+3s ,watchdelay=10ms:0.3,member=3:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uncoop != 0.5 || s.CrashFrac != 0.25 ||
+		s.CrashAt != 2*sim.Second || s.CrashRestart != 3*sim.Second ||
+		s.WatchDelayMax != 10*sim.Millisecond || s.WatchDelayProb != 0.3 ||
+		s.SlowMembers[3] != 8 {
+		t.Fatalf("fields wrong: %+v", s)
+	}
+	if s.Empty() {
+		t.Fatal("non-empty spec reported Empty")
+	}
+	if empty, _ := ParseSpec(""); !empty.Empty() {
+		t.Fatal("empty string not Empty")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, raw := range []string{
+		"bogus=1",
+		"uncoop",
+		"uncoop=2",
+		"uncoop=-0.1",
+		"crash=0.5@xyz",
+		"watchdelay=10ms",
+		"watchdelay=0:0.5",
+		"member=3",
+		"member=-1:2",
+		"member=0:0.5",
+		"stucksync=nan",
+	} {
+		if _, err := ParseSpec(raw); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", raw)
+		}
+	}
+}
+
+func TestUncooperativeDeterministicAndCounted(t *testing.T) {
+	mk := func() *Injector {
+		return NewInjector(sim.NewKernel(), Spec{Uncoop: 0.5}, stats.NewStream(7, "faults"))
+	}
+	a, b := mk(), mk()
+	var hits int
+	for dom := store.DomID(1); dom <= 40; dom++ {
+		av, bv := a.Uncooperative(dom), b.Uncooperative(dom)
+		if av != bv {
+			t.Fatalf("dom %d: draw not deterministic (%v vs %v)", dom, av, bv)
+		}
+		// Repeat calls must agree too (lexical fork, no shared state).
+		if a.Uncooperative(dom) != av {
+			t.Fatalf("dom %d: repeat draw differs", dom)
+		}
+		if av {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 40 {
+		t.Fatalf("uncoop=0.5 selected %d/40 guests", hits)
+	}
+	if a.Count("uncoop") == 0 || a.Total() == 0 {
+		t.Fatal("injections not counted")
+	}
+	if NewInjector(sim.NewKernel(), Spec{Uncoop: 1}, stats.NewStream(7, "f")).Uncooperative(3) != true {
+		t.Fatal("uncoop=1 must select every guest")
+	}
+}
+
+func TestStoreHooksDropAndDelay(t *testing.T) {
+	in := NewInjector(sim.NewKernel(), Spec{
+		StaleWriteProb: 1, WatchDropProb: 1,
+	}, stats.NewStream(1, "faults"))
+	h := in.StoreHooks()
+	if h == nil || h.DropWrite == nil || h.Delivery == nil {
+		t.Fatal("hooks missing")
+	}
+	if !h.DropWrite(1, "/x") {
+		t.Fatal("stalewrite=1 must drop every write")
+	}
+	if _, drop := h.Delivery(1, "/x"); !drop {
+		t.Fatal("watchdrop=1 must drop every delivery")
+	}
+	in2 := NewInjector(sim.NewKernel(), Spec{
+		WatchDelayProb: 1, WatchDelayMax: 10 * sim.Millisecond,
+	}, stats.NewStream(1, "faults"))
+	extra, drop := in2.StoreHooks().Delivery(1, "/x")
+	if drop || extra <= 0 || extra > 10*sim.Millisecond {
+		t.Fatalf("delay draw = (%v, %v)", extra, drop)
+	}
+	if NewInjector(sim.NewKernel(), Spec{Uncoop: 1}, stats.NewStream(1, "f")).StoreHooks() != nil {
+		t.Fatal("no store faults must yield nil hooks")
+	}
+}
+
+type fakeDriver struct{ crashes, restarts int }
+
+func (f *fakeDriver) Crash()   { f.crashes++ }
+func (f *fakeDriver) Restart() { f.restarts++ }
+
+func TestScheduleCrashAndRestart(t *testing.T) {
+	k := sim.NewKernel()
+	in := NewInjector(k, Spec{CrashFrac: 1, CrashAt: 2 * sim.Second, CrashRestart: 3 * sim.Second},
+		stats.NewStream(1, "faults"))
+	var d fakeDriver
+	in.ScheduleCrash(5, &d)
+	k.RunUntil(sim.Second)
+	if d.crashes != 0 {
+		t.Fatal("crashed early")
+	}
+	k.RunUntil(2500 * sim.Millisecond)
+	if d.crashes != 1 || d.restarts != 0 {
+		t.Fatalf("at 2.5s: crashes=%d restarts=%d", d.crashes, d.restarts)
+	}
+	k.RunUntil(6 * sim.Second)
+	if d.restarts != 1 {
+		t.Fatalf("restart never fired (restarts=%d)", d.restarts)
+	}
+	if in.Count("crash") != 1 || in.Count("restart") != 1 {
+		t.Fatalf("counts = %v", in.Counts())
+	}
+}
+
+func TestSyncFaultNilWhenDisabled(t *testing.T) {
+	in := NewInjector(sim.NewKernel(), Spec{}, stats.NewStream(1, "faults"))
+	if in.SyncFault(1) != nil {
+		t.Fatal("SyncFault must be nil for the empty spec")
+	}
+	in2 := NewInjector(sim.NewKernel(), Spec{StuckSyncProb: 1}, stats.NewStream(1, "faults"))
+	fn := in2.SyncFault(1)
+	if fn == nil || !fn("xvda") {
+		t.Fatal("stucksync=1 must stick every sync")
+	}
+	if in2.Count("stucksync") != 1 {
+		t.Fatalf("counts = %v", in2.Counts())
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"testing"
+
+	"iorchestra/internal/sim"
+)
+
+// The fault hooks must (a) lose a write while acknowledging it, with no
+// watch firing, (b) drop a delivery per-watch, and (c) stretch delivery
+// latency — each visible in FaultStats.
+func TestFaultHooksDropWrite(t *testing.T) {
+	k, s := newTestStore()
+	var fired int
+	s.Watch(Dom0, "/local/domain/1", func(path, value string) { fired++ })
+	s.Write(Dom0, "/local/domain/1/key", "old")
+	drop := false
+	s.SetFaultHooks(&FaultHooks{
+		DropWrite: func(dom DomID, path string) bool { return drop },
+	})
+	drop = true
+	if err := s.Write(Dom0, "/local/domain/1/key", "new"); err != nil {
+		t.Fatalf("dropped write must still succeed from the writer's view: %v", err)
+	}
+	k.RunUntil(sim.Second)
+	if v, _ := s.Read(Dom0, "/local/domain/1/key"); v != "old" {
+		t.Fatalf("stale key = %q, want old value preserved", v)
+	}
+	if fired != 1 {
+		t.Fatalf("watch fired %d times, want 1 (none for the lost write)", fired)
+	}
+	dw, _, _ := s.FaultStats()
+	if dw != 1 {
+		t.Fatalf("droppedWrites = %d", dw)
+	}
+}
+
+func TestFaultHooksDropAndDelayDelivery(t *testing.T) {
+	k, s := newTestStore()
+	var got []sim.Time
+	s.Watch(Dom0, "/local/domain/1", func(path, value string) {
+		got = append(got, k.Now())
+	})
+	mode := ""
+	s.SetFaultHooks(&FaultHooks{
+		Delivery: func(dom DomID, path string) (sim.Duration, bool) {
+			switch mode {
+			case "drop":
+				return 0, true
+			case "delay":
+				return sim.Millisecond, false
+			}
+			return 0, false
+		},
+	})
+	s.Write(Dom0, "/local/domain/1/key", "a") // clean: notifyLatency only
+	mode = "drop"
+	s.Write(Dom0, "/local/domain/1/key", "b") // lost
+	mode = "delay"
+	s.Write(Dom0, "/local/domain/1/key", "c") // +1ms
+	k.RunUntil(sim.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d notifications, want 2 (one dropped)", len(got))
+	}
+	if got[0] != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("clean delivery at %v", got[0])
+	}
+	if got[1] != sim.Time(sim.Millisecond+10*sim.Microsecond) {
+		t.Fatalf("delayed delivery at %v", got[1])
+	}
+	_, dn, dl := s.FaultStats()
+	if dn != 1 || dl != 1 {
+		t.Fatalf("FaultStats notifies: dropped=%d delayed=%d", dn, dl)
+	}
+	// Uninstalling restores clean behavior.
+	s.SetFaultHooks(nil)
+	mode = "drop"
+	s.Write(Dom0, "/local/domain/1/key", "d")
+	k.RunUntil(2 * sim.Second)
+	if len(got) != 3 {
+		t.Fatal("delivery still faulted after SetFaultHooks(nil)")
+	}
+}

@@ -98,8 +98,38 @@ type Store struct {
 	// rec, when set, receives store.write and store.watch trace records.
 	rec *trace.Recorder
 
+	// faults, when set, lets a fault injector lose writes and delay or
+	// drop watch deliveries (internal/fault). Hooks run on the kernel
+	// goroutine, inside Write.
+	faults *FaultHooks
+
 	// Stats counters exposed for overhead accounting.
 	reads, writes, notifies uint64
+	// Fault accounting: writes silently lost and notifications dropped or
+	// delayed by the installed FaultHooks.
+	faultDroppedWrites, faultDroppedNotifies, faultDelayedNotifies uint64
+}
+
+// FaultHooks intercepts store traffic for fault injection. Either hook
+// may be nil. They are consulted on the kernel goroutine only.
+type FaultHooks struct {
+	// DropWrite, when it returns true, makes Write succeed from the
+	// writer's point of view while leaving the node's old value in place —
+	// a stale/torn key. No watch fires for the lost write.
+	DropWrite func(dom DomID, path string) bool
+	// Delivery runs once per matched watch before a notification is
+	// scheduled: extra is added to the notification latency, and drop
+	// loses the event entirely (the watcher never hears about the write).
+	Delivery func(dom DomID, path string) (extra sim.Duration, drop bool)
+}
+
+// SetFaultHooks installs (or, with nil, removes) fault-injection hooks.
+func (s *Store) SetFaultHooks(h *FaultHooks) { s.faults = h }
+
+// FaultStats reports writes lost and notifications dropped/delayed by the
+// installed fault hooks.
+func (s *Store) FaultStats() (droppedWrites, droppedNotifies, delayedNotifies uint64) {
+	return s.faultDroppedWrites, s.faultDroppedNotifies, s.faultDelayedNotifies
 }
 
 // New returns an empty store bound to kernel k. notifyLatency is the delay
@@ -234,6 +264,12 @@ func (s *Store) Write(dom DomID, path, value string) error {
 	}
 	if !canWrite(n, dom) {
 		return fmt.Errorf("%w: dom%d writing %s", ErrPermission, dom, path)
+	}
+	if s.faults != nil && s.faults.DropWrite != nil && s.faults.DropWrite(dom, path) {
+		// The write is acknowledged but lost: the key keeps its stale
+		// value and no watch fires, exactly a torn XenStore transaction.
+		s.faultDroppedWrites++
+		return nil
 	}
 	s.version++
 	n.value = value
@@ -386,10 +422,22 @@ func (s *Store) fireWatches(path, value string) {
 		if n := s.lookup(parts); n != nil && !canRead(n, w.dom) {
 			continue
 		}
+		delay := s.notifyLatency
+		if s.faults != nil && s.faults.Delivery != nil {
+			extra, drop := s.faults.Delivery(w.dom, path)
+			if drop {
+				s.faultDroppedNotifies++
+				continue
+			}
+			if extra > 0 {
+				s.faultDelayedNotifies++
+				delay += extra
+			}
+		}
 		id, dom, fn := w.id, w.dom, w.fn
 		p, v := path, value
 		s.notifies++
-		s.k.After(s.notifyLatency, func() {
+		s.k.After(delay, func() {
 			// The watch may have been removed while the notification was
 			// in flight; XenStore drops such events.
 			s.watchMu.Lock()

@@ -66,6 +66,39 @@ const (
 	// KindDevService is a physical member device completing one request,
 	// with its device-level service latency.
 	KindDevService Kind = "dev.service"
+
+	// KindFaultInject is an injected fault firing (internal/fault): Value
+	// names the fault kind from the -faults spec grammar ("uncoop",
+	// "crash", "restart", "watchdrop", "watchdelay", "stalewrite",
+	// "stucksync", "member"), Dom/Disk/Path locate it.
+	KindFaultInject Kind = "fault.inject"
+	// KindHeartbeatMiss is the management module detecting a stale guest
+	// heartbeat (Latency = time since the last beat); it precedes a
+	// heartbeat-reason fallback.
+	KindHeartbeatMiss Kind = "heartbeat.miss"
+	// KindFlushTimeout is an unanswered flush_now order expiring its
+	// deadline (Algorithm 1 degradation); Value carries the retry count
+	// consumed so far for the (Dom, Disk) pair.
+	KindFlushTimeout Kind = "flush.timeout"
+	// KindReleaseRetry is the management module re-publishing an unacked
+	// release_request after ReleaseAckTimeout (Algorithm 2 degradation);
+	// Value carries the retry number.
+	KindReleaseRetry Kind = "release.retry"
+	// KindReleaseTimeout is a release_request exhausting its bounded
+	// retries; the guest enters fallback.
+	KindReleaseTimeout Kind = "release.timeout"
+	// KindHoldTimeout is a held guest force-released after HoldDeadline
+	// even though the host still looks congested — the safety valve that
+	// keeps one stuck device from starving a held guest forever.
+	KindHoldTimeout Kind = "hold.timeout"
+	// KindFallbackEnter is a guest demoted to Baseline behavior (skipped
+	// by Algorithm 1, unanswered in Algorithm 2, static in Algorithm 3);
+	// Value names the reason ("heartbeat", "flush-deadline",
+	// "release-deadline").
+	KindFallbackEnter Kind = "fallback.enter"
+	// KindFallbackExit is a guest restored to collaborative mode; Value
+	// names the trigger ("driver-registered", "heartbeat-resumed").
+	KindFallbackExit Kind = "fallback.exit"
 )
 
 // Record is one decision-trace event. The zero value of every optional
@@ -382,6 +415,14 @@ var summaryKinds = []struct {
 	{KindQueueRelease, "queue releases"},
 	{KindCoschedUpdate, "cosched updates"},
 	{KindCoschedMove, "cosched moves"},
+	{KindFaultInject, "injected faults"},
+	{KindHeartbeatMiss, "heartbeat misses"},
+	{KindFlushTimeout, "flush timeouts"},
+	{KindReleaseRetry, "release retries"},
+	{KindReleaseTimeout, "release timeouts"},
+	{KindHoldTimeout, "hold timeouts"},
+	{KindFallbackEnter, "fallbacks"},
+	{KindFallbackExit, "restores"},
 	{KindStoreWrite, "store writes"},
 	{KindStoreWatch, "watch fires"},
 }

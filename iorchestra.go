@@ -26,6 +26,7 @@ import (
 	"iorchestra/internal/baselines"
 	"iorchestra/internal/core"
 	"iorchestra/internal/device"
+	"iorchestra/internal/fault"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
@@ -61,7 +62,15 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceRecord is one decision-trace event.
 	TraceRecord = trace.Record
+	// FaultSpec configures the deterministic fault-injection layer.
+	FaultSpec = fault.Spec
+	// FaultInjector is the per-platform fault-injection engine.
+	FaultInjector = fault.Injector
 )
+
+// ParseFaultSpec parses the -faults command-line grammar (see
+// docs/FAULTS.md) into a FaultSpec.
+func ParseFaultSpec(raw string) (fault.Spec, error) { return fault.ParseSpec(raw) }
 
 // Re-exported duration constants.
 const (
@@ -120,6 +129,8 @@ type options struct {
 	deviceFn   func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice
 	trace      bool
 	traceCap   int
+	faults     fault.Spec
+	haveFaults bool
 }
 
 // WithHostConfig overrides the host configuration (sockets, cores,
@@ -146,6 +157,16 @@ func WithManagerConfig(cfg core.ManagerConfig) Option {
 // file-backed one).
 func WithDevice(fn func(k *sim.Kernel, rng *stats.Stream) device.BlockDevice) Option {
 	return func(o *options) { o.deviceFn = fn }
+}
+
+// WithFaults installs the deterministic fault-injection layer described
+// by spec (see fault.ParseSpec for the textual grammar). Faults are drawn
+// from the platform seed's "faults" stream fork, so a given (seed, spec)
+// pair reproduces the exact same failure schedule on every run — and the
+// workload/device streams are untouched, keeping faulted and clean runs
+// paired. An empty spec is a no-op.
+func WithFaults(spec fault.Spec) Option {
+	return func(o *options) { o.faults = spec; o.haveFaults = true }
 }
 
 // WithTracing enables the unified decision-trace recorder: system-store
@@ -178,6 +199,9 @@ type Platform struct {
 	// Trace is the unified decision-trace recorder (nil unless the
 	// platform was built WithTracing).
 	Trace *trace.Recorder
+	// Faults is the fault-injection engine (nil unless the platform was
+	// built WithFaults and the spec is non-empty).
+	Faults *fault.Injector
 }
 
 // NewPlatform builds a fresh kernel and host configured for the system.
@@ -214,15 +238,39 @@ func NewPlatform(sys System, seed uint64, opts ...Option) *Platform {
 	default:
 		cfg.Mode = hypervisor.ModeBackend
 	}
+	var inj *fault.Injector
+	if o.haveFaults && !o.faults.Empty() {
+		inj = fault.NewInjector(k, o.faults, rng.Fork("faults"))
+	}
 	if o.deviceFn != nil {
 		cfg.Device = o.deviceFn(k, rng.Fork("device"))
+	} else if inj != nil && len(o.faults.SlowMembers) > 0 {
+		// Reproduce the hypervisor's default array — same stream labels,
+		// so member service randomness matches an unfaulted run — with
+		// Degraded throttles in front of the selected members. Member
+		// faults only apply to the default array; a custom WithDevice
+		// wires its own degradation.
+		slow := o.faults.SlowMembers
+		cfg.Device = device.PaperArrayWith(k, rng.Fork("host").Fork("array"),
+			func(i int, m device.BlockDevice) device.BlockDevice {
+				f, ok := slow[i]
+				if !ok {
+					return m
+				}
+				inj.Note("member", 0, m.Name())
+				return device.NewDegraded(k, m, f)
+			})
 	}
 	if o.trace {
 		cfg.Trace = true
 		cfg.TraceCapacity = o.traceCap
 	}
 	h := hypervisor.New(k, cfg, rng.Fork("host"))
-	p := &Platform{Kernel: k, Host: h, Sys: sys, Rng: rng, Trace: h.Recorder()}
+	p := &Platform{Kernel: k, Host: h, Sys: sys, Rng: rng, Trace: h.Recorder(), Faults: inj}
+	if inj != nil {
+		inj.SetRecorder(h.Recorder())
+		h.Store().SetFaultHooks(inj.StoreHooks())
+	}
 	switch sys {
 	case SystemIOrchestra:
 		p.Manager = core.NewManager(h, pol, o.managerCfg, rng.Fork("mgr"))
@@ -251,11 +299,30 @@ func (p *Platform) NewVM(vcpus, memGB int, disks ...guest.DiskConfig) *hyperviso
 func (p *Platform) Enable(rt *hypervisor.GuestRuntime) {
 	switch p.Sys {
 	case SystemIOrchestra:
-		p.Manager.EnableGuest(rt)
+		// An uncooperative guest never registers a driver: the manager
+		// sees no store traffic from it at all, the exact shape a legacy
+		// image presents. Its I/O still flows through the shared backend.
+		if p.Faults != nil && p.Faults.Uncooperative(rt.G.ID()) {
+			return
+		}
+		drv := p.Manager.EnableGuest(rt)
+		if p.Faults != nil {
+			drv.SetSyncFault(p.Faults.SyncFault(rt.G.ID()))
+			p.Faults.ScheduleCrash(rt.G.ID(), drv)
+		}
 	case SystemDIF:
 		p.DIF.EnableGuest(rt)
 	case SystemSDC:
 		p.SDC.EnableGuest(rt)
+	}
+}
+
+// Disable tears down the system's per-VM hooks (used by the arrival
+// experiments when the cluster engine removes a guest). Baseline, DIF and
+// SDC install nothing that outlives the guest, so only IOrchestra acts.
+func (p *Platform) Disable(rt *hypervisor.GuestRuntime) {
+	if p.Sys == SystemIOrchestra {
+		p.Manager.DisableGuest(rt.G.ID())
 	}
 }
 
