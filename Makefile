@@ -1,12 +1,16 @@
 # Standard verification pipeline: `make check` is what CI runs.
 GO ?= go
 
-.PHONY: all build vet test race check chaos experiments clean
+.PHONY: all build fmt vet test race bench check chaos experiments clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -18,7 +22,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: vet build test race
+# Manager-tick microbenchmarks: all three policies over 8 guests.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkManagerTick -benchtime 1x ./internal/core/
+
+check: fmt vet build test race
 
 # Fault-injection smoke: sweeps uncooperative-guest fractions and
 # control-plane fault rates at quick scale (docs/FAULTS.md).

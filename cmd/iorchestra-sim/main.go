@@ -209,13 +209,12 @@ func main() {
 		dev.BandwidthBps(p.Kernel.Now())/1e6, dev.UtilFraction(p.Kernel.Now())*100)
 	fmt.Printf("host CPU utilization: %.0f%%\n", p.Host.CPUUtilization(p.Kernel.Now())*100)
 	if p.Manager != nil {
+		c := p.Manager.Counters()
 		fmt.Printf("iorchestra: %d flush notices, %d vetoes, %d confirms, %d relieves, %d cosched runs\n",
-			p.Manager.FlushNotices(), p.Manager.Vetoes(), p.Manager.Confirms(),
-			p.Manager.Relieves(), p.Manager.CoschedRuns())
+			c.FlushNotices, c.Vetoes, c.Confirms, c.Relieves, c.CoschedRuns)
 		fmt.Printf("degradation: %d heartbeat misses, %d flush timeouts, %d release retries, %d release timeouts, %d hold timeouts, %d fallbacks, %d restores\n",
-			p.Manager.HeartbeatMisses(), p.Manager.FlushTimeouts(),
-			p.Manager.ReleaseRetries(), p.Manager.ReleaseTimeouts(),
-			p.Manager.HoldTimeouts(), p.Manager.Fallbacks(), p.Manager.Restores())
+			c.HeartbeatMisses, c.FlushTimeouts, c.ReleaseRetries, c.ReleaseTimeouts,
+			c.HoldTimeouts, c.Fallbacks, c.Restores)
 	}
 	r, w, n := p.Host.Store().Stats()
 	fmt.Printf("system store: %d reads, %d writes, %d notifications\n", r, w, n)

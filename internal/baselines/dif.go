@@ -7,12 +7,21 @@
 package baselines
 
 import (
+	"sort"
 	"strconv"
 
+	"iorchestra/internal/core"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/store"
+)
+
+// Both baselines plug into the same policy-controller framework as
+// IOrchestra's manager, so platforms install them through one registry.
+var (
+	_ core.Controller = (*DIF)(nil)
+	_ core.Controller = (*SDC)(nil)
 )
 
 // DIF coordinates disk-idleness-based flushing: the host publishes an
@@ -56,6 +65,26 @@ func NewDIF(h *hypervisor.Host) *DIF {
 // Signals reports how many idleness notifications were published.
 func (d *DIF) Signals() uint64 { return d.signals }
 
+// Name identifies the coordinator in the platform's controller registry.
+func (d *DIF) Name() string { return "dif" }
+
+// Attach is the Controller lifecycle entry (see EnableGuest).
+func (d *DIF) Attach(rt *hypervisor.GuestRuntime) { d.EnableGuest(rt) }
+
+// Detach forgets a removed guest: its dirty tracking stops feeding the
+// idleness timer and a late disk_idle watch fire is ignored. Safe for
+// guests that were never attached.
+func (d *DIF) Detach(dom store.DomID) {
+	dg := d.guests[dom]
+	if dg == nil {
+		return
+	}
+	delete(d.guests, dom)
+	for _, v := range dg.disks {
+		v.Cache.OnDirtyChange = nil
+	}
+}
+
 // EnableGuest installs the DIF guest hook: dirty-page tracking plus a
 // watch on the idleness signal.
 func (d *DIF) EnableGuest(rt *hypervisor.GuestRuntime) {
@@ -87,6 +116,9 @@ func (dg *difGuest) noteDirty(v *guest.VDisk, nr int64) {
 }
 
 func (dg *difGuest) onIdle() {
+	if dg.dif.guests[dg.dom] != dg {
+		return // detached; a late idleness notification
+	}
 	// Every disk with dirty pages flushes — no cross-VM coordination.
 	for _, v := range dg.disks {
 		if v.Cache.DirtyPages() > 0 {
@@ -125,8 +157,15 @@ func (d *DIF) tick() {
 	if dev.BandwidthBps(now) >= d.IdleFrac*dev.CapacityBps() {
 		return
 	}
-	for dom, dg := range d.guests {
-		if dg.dirty > 0 {
+	// Ascending-domain order keeps the signal writes (and the decision
+	// trace behind them) identical on every fixed-seed run.
+	doms := make([]store.DomID, 0, len(d.guests))
+	for dom := range d.guests {
+		doms = append(doms, dom)
+	}
+	sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+	for _, dom := range doms {
+		if d.guests[dom].dirty > 0 {
 			d.signals++
 			d.h.Store().WriteBool(store.Dom0, store.DomainPath(dom)+"/disk_idle", true)
 		}

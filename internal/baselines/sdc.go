@@ -28,6 +28,16 @@ func HostConfig() hypervisor.Config {
 	return hypervisor.Config{Mode: hypervisor.ModeDedicated, RouteBySocket: false}
 }
 
+// Name identifies SDC in the platform's controller registry.
+func (s *SDC) Name() string { return "sdc" }
+
+// Attach is the Controller lifecycle entry (see EnableGuest).
+func (s *SDC) Attach(rt *hypervisor.GuestRuntime) { s.EnableGuest(rt) }
+
+// Detach is a no-op: the static quantum is harmless once the guest stops
+// submitting, and SDC keeps no other per-guest state.
+func (s *SDC) Detach(dom store.DomID) {}
+
 // EnableGuest applies the static equal share for a VM on every core (the
 // original scheme gives each VM the same quantum regardless of load or
 // priority).

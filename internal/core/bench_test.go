@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+// BenchmarkManagerTick measures the steady-state cost of one management
+// check interval (50 ms of simulated time) with 8 enabled guests under a
+// sustained dirtying workload, once per policy and once with all three —
+// the decision loops plus the store/watch traffic they trigger.
+func BenchmarkManagerTick(b *testing.B) {
+	cases := []struct {
+		name string
+		pol  Policies
+	}{
+		{"flush", Policies{Flush: true}},
+		{"congestion", Policies{Congestion: true}},
+		{"cosched", Policies{Cosched: true}},
+		{"all", All()},
+	}
+	for _, bc := range cases {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			k := sim.NewKernel()
+			rng := stats.NewStream(7, "bench")
+			h := hypervisor.New(k, hypervisor.Config{}, rng.Fork("host"))
+			m := NewManager(h, bc.pol, ManagerConfig{}, rng.Fork("mgr"))
+			for i := 0; i < 8; i++ {
+				rt := h.CreateGuest(guest.Config{VCPUs: 2, MemBytes: 1 << 30},
+					guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+						WakeInterval: 30 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+					}})
+				m.EnableGuest(rt)
+				d := rt.G.Disk("xvda")
+				p := rt.G.NewProcess(1)
+				// Self-rescheduling writer keeps dirty pages and queue
+				// pressure present for as long as the benchmark runs.
+				var write func()
+				write = func() {
+					d.Write(p, 1<<20, nil)
+					k.After(10*sim.Millisecond, write)
+				}
+				k.After(sim.Duration(i+1)*sim.Millisecond, write)
+			}
+			// Reach steady state before timing.
+			k.RunUntil(sim.Second)
+			now := k.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 50 * sim.Millisecond
+				k.RunUntil(now)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import "iorchestra/internal/sim"
+
+// Policies selects which collaborative functions the manager runs; the
+// paper's ablation experiments enable them one at a time (Sec. 5.3–5.5).
+type Policies struct {
+	Flush      bool // Algorithm 1: cross-domain dirty-page flush control
+	Congestion bool // Algorithm 2: collaborative congestion control
+	Cosched    bool // Sec. 3.3: inter-domain I/O co-scheduling
+}
+
+// All enables every policy — the full IOrchestra configuration.
+func All() Policies { return Policies{Flush: true, Congestion: true, Cosched: true} }
+
+// ManagerConfig tunes the hypervisor-side modules.
+type ManagerConfig struct {
+	// FlushUtilFrac: flush when device bandwidth is below this fraction
+	// of capacity (paper: one tenth).
+	FlushUtilFrac float64
+	// FlushCheckInterval paces idle-bandwidth checks while dirty VMs exist.
+	FlushCheckInterval sim.Duration
+	// FlushTimeout abandons an unanswered flush_now.
+	FlushTimeout sim.Duration
+	// MinFlushBytes: do not bother a guest whose dirty set is smaller
+	// (avoids churning sync() for crumbs).
+	MinFlushBytes int64
+	// FlushCooldown spaces successive flush notices.
+	FlushCooldown sim.Duration
+	// CongestionCheckInterval paces host-relief checks while VMs are held.
+	CongestionCheckInterval sim.Duration
+	// ReleaseStaggerMax is the FIFO wake-up stagger bound (paper: 0–99 ms).
+	ReleaseStaggerMax sim.Duration
+	// CoschedInterval is the weight-update cadence (paper: every second).
+	CoschedInterval sim.Duration
+	// CoschedChangeFrac forces an early update when the core-latency
+	// ratio shifts by more than this fraction (paper: 50 %).
+	CoschedChangeFrac float64
+	// CoschedMinLatency gates process redistribution: below this on-core
+	// latency there is no contention worth rebalancing, and migrations
+	// would only disturb cache and CPU co-location.
+	CoschedMinLatency sim.Duration
+
+	// Graceful degradation (docs/FAULTS.md). The paper's host waits on
+	// guest cooperation; these bounds make every wait finite so one bad
+	// guest can never stall a loop or starve siblings.
+
+	// HeartbeatTimeout demotes a guest whose iorchestra/heartbeat is
+	// older than this to Baseline behavior (default 350 ms — three
+	// missed 100 ms beats plus delivery slack). <= 0 disables the check.
+	HeartbeatTimeout sim.Duration
+	// FlushMaxRetries bounds re-issued flush orders per (guest, disk)
+	// after a FlushTimeout expiry before the guest falls back.
+	FlushMaxRetries int
+	// ReleaseAckTimeout re-publishes an unacknowledged release_request
+	// (the ack is the guest's reset to 0); <= 0 disables retries.
+	ReleaseAckTimeout sim.Duration
+	// ReleaseMaxRetries bounds release re-publishes before fallback.
+	ReleaseMaxRetries int
+	// HoldDeadline force-releases a guest held in congestion avoidance
+	// this long even if the host still looks congested — the safety
+	// valve against a stuck device starving held guests forever.
+	HoldDeadline sim.Duration
+	// FallbackPenalty is how long a fallen-back guest must heartbeat
+	// again before it is restored (a driver re-registration restores it
+	// immediately).
+	FallbackPenalty sim.Duration
+}
+
+func (c *ManagerConfig) fillDefaults() {
+	if c.FlushUtilFrac <= 0 {
+		c.FlushUtilFrac = 0.1
+	}
+	if c.FlushCheckInterval <= 0 {
+		c.FlushCheckInterval = 50 * sim.Millisecond
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = sim.Second
+	}
+	if c.MinFlushBytes <= 0 {
+		c.MinFlushBytes = 8 << 20
+	}
+	if c.FlushCooldown <= 0 {
+		c.FlushCooldown = 200 * sim.Millisecond
+	}
+	if c.CongestionCheckInterval <= 0 {
+		c.CongestionCheckInterval = 5 * sim.Millisecond
+	}
+	if c.ReleaseStaggerMax <= 0 {
+		c.ReleaseStaggerMax = 99 * sim.Millisecond
+	}
+	if c.CoschedInterval <= 0 {
+		c.CoschedInterval = sim.Second
+	}
+	if c.CoschedChangeFrac <= 0 {
+		c.CoschedChangeFrac = 0.5
+	}
+	if c.CoschedMinLatency <= 0 {
+		c.CoschedMinLatency = 150 * sim.Microsecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 350 * sim.Millisecond
+	}
+	if c.FlushMaxRetries <= 0 {
+		c.FlushMaxRetries = 2
+	}
+	if c.ReleaseAckTimeout <= 0 {
+		c.ReleaseAckTimeout = 100 * sim.Millisecond
+	}
+	if c.ReleaseMaxRetries <= 0 {
+		c.ReleaseMaxRetries = 3
+	}
+	if c.HoldDeadline <= 0 {
+		c.HoldDeadline = 5 * sim.Second
+	}
+	if c.FallbackPenalty <= 0 {
+		c.FallbackPenalty = 2 * sim.Second
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+// Controller is one pluggable policy unit: the paper's management module
+// hosts three of them (flush control, congestion control, co-scheduling),
+// the baselines package contributes DIF and SDC, and a new policy plugs
+// in by implementing this interface and registering with the platform or
+// the manager (docs/ARCHITECTURE.md walks through a complete example).
+//
+// The lifecycle calls are per-guest: Attach installs whatever per-VM
+// hooks the policy needs when a guest is enabled; Detach forgets every
+// piece of policy state about a removed guest and must be safe to call
+// for guests that were never attached.
+//
+// Controllers that need more than lifecycle calls implement the optional
+// capability interfaces: StoreHandler to receive routed system-store
+// notifications, FallbackHook to react when the liveness middleware
+// demotes or restores a guest. Periodic work runs through a cadence
+// timer rather than a free-running loop, so the event calendar stays
+// empty while there is nothing to do.
+type Controller interface {
+	// Name identifies the policy in registries and diagnostics.
+	Name() string
+	// Attach installs the policy's per-guest hooks.
+	Attach(rt *hypervisor.GuestRuntime)
+	// Detach forgets all state about dom.
+	Detach(dom store.DomID)
+}
+
+// StoreEvent is one parsed system-store notification, routed to a
+// controller by the manager's dispatcher. Disk is empty for domain-level
+// keys; Key is the path relative to /local/domain/<id> with any
+// virt-dev/<disk>/ prefix stripped.
+type StoreEvent struct {
+	Dom   store.DomID
+	Disk  string
+	Key   string
+	Value string
+}
+
+// Routes declares which store keys a controller wants. The manager owns
+// the single privileged watch over /local/domain and fans matching
+// events out to registered handlers; a controller never installs its own
+// global watch.
+type Routes struct {
+	// DiskKeys match virt-dev/<disk>/<key> for any disk.
+	DiskKeys []string
+	// DomainKeys match a domain-relative key exactly.
+	DomainKeys []string
+	// DomainPrefixes match any domain-relative key with the prefix.
+	DomainPrefixes []string
+}
+
+// StoreHandler is the store-routing capability of a Controller.
+type StoreHandler interface {
+	Routes() Routes
+	OnStoreEvent(ev StoreEvent)
+}
+
+// FallbackHook is the degradation capability of a Controller: the
+// liveness middleware calls OnFallback when it demotes a guest to
+// Baseline behavior and OnRestore when the guest earns its way back, so
+// each policy can unstick anything it was holding or expecting from the
+// guest (docs/FAULTS.md).
+type FallbackHook interface {
+	OnFallback(dom store.DomID)
+	OnRestore(dom store.DomID)
+}
+
+// cadence is the shared tick scheduler: a lazy re-arming timer. arm is a
+// no-op while a tick is pending; when the timer fires, tick runs and the
+// cadence re-arms only if tick reports more work. The pattern keeps the
+// event calendar empty when a policy has nothing to watch — the paper's
+// management module "only reacts to certain system events".
+type cadence struct {
+	k      *sim.Kernel
+	period sim.Duration
+	tick   func() bool // run one tick; report whether to stay armed
+	timer  *sim.Event
+}
+
+func (c *cadence) arm() {
+	if c.timer != nil {
+		return
+	}
+	c.timer = c.k.After(c.period, func() {
+		c.timer = nil
+		if c.tick() {
+			c.arm()
+		}
+	})
+}
+
+// sortedDomIDs returns a per-domain map's keys in ascending order. Policy
+// loops iterate guests through it so fixed-seed runs replay identically:
+// Go map order would otherwise leak into store-write order, and with it
+// into the decision trace and every downstream timing.
+func sortedDomIDs[V any](m map[store.DomID]V) []store.DomID {
+	out := make([]store.DomID, 0, len(m))
+	for dom := range m {
+		out = append(out, dom)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedNames returns a per-disk map's keys in ascending order, for the
+// same determinism reason as sortedDomIDs.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+// Counters is a point-in-time snapshot of every management-module
+// counter: policy decisions (Sec. 5's measured quantities) and graceful-
+// degradation events (docs/FAULTS.md). Zero values are reported for
+// policies the manager was built without.
+type Counters struct {
+	// Algorithm 1: flush control.
+	FlushNotices  uint64 // flush_now orders issued
+	FlushTimeouts uint64 // orders abandoned at the deadline
+
+	// Algorithm 2: congestion control.
+	Vetoes          uint64 // queries answered "host not congested"
+	Confirms        uint64 // queries answered "host congested"
+	Relieves        uint64 // VMs released on host relief
+	ReleaseRetries  uint64 // re-published release_request orders
+	ReleaseTimeouts uint64 // releases that exhausted their retries
+	HoldTimeouts    uint64 // guests force-released at the hold deadline
+
+	// Sec. 3.3: co-scheduling.
+	CoschedRuns uint64 // weight updates applied
+
+	// Liveness middleware.
+	HeartbeatMisses uint64 // stale-heartbeat detections
+	Fallbacks       uint64 // guests demoted to Baseline behavior
+	Restores        uint64 // guests restored to collaborative mode
+}
+
+// Counters snapshots every counter in one call; prefer it over the
+// per-counter getters below.
+func (m *Manager) Counters() Counters {
+	var c Counters
+	if fc := m.flush; fc != nil {
+		c.FlushNotices = fc.notices
+		c.FlushTimeouts = fc.timeouts
+	}
+	if cc := m.congest; cc != nil {
+		c.Vetoes = cc.vetoes
+		c.Confirms = cc.confirms
+		c.Relieves = cc.relieves
+		c.ReleaseRetries = cc.releaseRetries
+		c.ReleaseTimeouts = cc.releaseTimeouts
+		c.HoldTimeouts = cc.holdTimeouts
+	}
+	if sc := m.cosched; sc != nil {
+		c.CoschedRuns = sc.runs
+	}
+	c.HeartbeatMisses = m.live.heartbeatMisses
+	c.Fallbacks = m.live.fallbacks
+	c.Restores = m.live.restores
+	return c
+}
+
+// FlushNotices reports flush_now orders issued.
+//
+// Deprecated: use Counters.
+func (m *Manager) FlushNotices() uint64 { return m.Counters().FlushNotices }
+
+// Vetoes reports congestion queries answered "host not congested".
+//
+// Deprecated: use Counters.
+func (m *Manager) Vetoes() uint64 { return m.Counters().Vetoes }
+
+// Confirms reports congestion queries answered "host congested".
+//
+// Deprecated: use Counters.
+func (m *Manager) Confirms() uint64 { return m.Counters().Confirms }
+
+// Relieves reports VMs released when the host device left congestion.
+//
+// Deprecated: use Counters.
+func (m *Manager) Relieves() uint64 { return m.Counters().Relieves }
+
+// CoschedRuns reports co-scheduling weight updates applied.
+//
+// Deprecated: use Counters.
+func (m *Manager) CoschedRuns() uint64 { return m.Counters().CoschedRuns }
+
+// FlushTimeouts reports flush orders abandoned at the deadline.
+//
+// Deprecated: use Counters.
+func (m *Manager) FlushTimeouts() uint64 { return m.Counters().FlushTimeouts }
+
+// HeartbeatMisses reports stale-heartbeat detections.
+//
+// Deprecated: use Counters.
+func (m *Manager) HeartbeatMisses() uint64 { return m.Counters().HeartbeatMisses }
+
+// ReleaseRetries reports re-published release_request orders.
+//
+// Deprecated: use Counters.
+func (m *Manager) ReleaseRetries() uint64 { return m.Counters().ReleaseRetries }
+
+// ReleaseTimeouts reports releases that exhausted their retries.
+//
+// Deprecated: use Counters.
+func (m *Manager) ReleaseTimeouts() uint64 { return m.Counters().ReleaseTimeouts }
+
+// HoldTimeouts reports guests force-released at the hold deadline.
+//
+// Deprecated: use Counters.
+func (m *Manager) HoldTimeouts() uint64 { return m.Counters().HoldTimeouts }
+
+// Fallbacks reports guests demoted to Baseline behavior.
+//
+// Deprecated: use Counters.
+func (m *Manager) Fallbacks() uint64 { return m.Counters().Fallbacks }
+
+// Restores reports guests restored to collaborative mode.
+//
+// Deprecated: use Counters.
+func (m *Manager) Restores() uint64 { return m.Counters().Restores }

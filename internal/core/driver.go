@@ -199,7 +199,8 @@ func (drv *Driver) Restart() {
 		return
 	}
 	drv.crashed = false
-	for _, dd := range drv.disks {
+	for _, name := range sortedNames(drv.disks) {
+		dd := drv.disks[name]
 		dd.v.Cache.OnDirtyChange = dd.onDirtyChange
 		dd.v.Queue.SetController(dd)
 		nr := dd.v.Cache.DirtyPages()
@@ -350,7 +351,8 @@ func (dd *diskDriver) handleFlushNow() {
 func (drv *Driver) handleRelease() {
 	drv.releases++
 	until := drv.k.Now() + drv.ReleaseGrace
-	for _, dd := range drv.disks {
+	for _, name := range sortedNames(drv.disks) {
+		dd := drv.disks[name]
 		dd.releasedUntil = until
 		dd.v.Queue.Release(nil)
 		drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+	"iorchestra/internal/trace"
+)
+
+// liveness is the cross-cutting degradation middleware that wraps every
+// policy controller (docs/FAULTS.md). The collaborative functions assume
+// a live driver on the other side of the store; when one guest stops
+// cooperating — no driver, crashed driver, stuck sync, lost
+// notifications — liveness demotes exactly that guest to Baseline
+// behavior and notifies each registered FallbackHook so the policies can
+// unstick anything they were holding or expecting from it. Siblings keep
+// full collaboration.
+//
+// Policies consume it through two calls: cooperative(dom) at decision
+// sites (which lazily runs the heartbeat check, so detection costs
+// nothing while everyone is healthy) and inFallback(dom) for read-only
+// gating. They never touch the fallback state directly.
+type liveness struct {
+	k   *sim.Kernel
+	st  *store.Store
+	rec *trace.Recorder
+
+	timeout sim.Duration // HeartbeatTimeout
+	penalty sim.Duration // FallbackPenalty
+
+	// present reports whether a driver is attached for dom; a guest
+	// without one (never enabled, or disabled) is never cooperative.
+	present func(store.DomID) bool
+	// hooks receive demote/restore callbacks in registration order.
+	hooks []FallbackHook
+
+	lastBeat map[store.DomID]sim.Time
+	fallback map[store.DomID]*fallbackState
+
+	heartbeatMisses uint64
+	fallbacks       uint64
+	restores        uint64
+}
+
+// fallbackState marks a guest demoted to Baseline behavior.
+type fallbackState struct {
+	reason string
+	since  sim.Time
+}
+
+func newLiveness(k *sim.Kernel, st *store.Store, rec *trace.Recorder,
+	cfg *ManagerConfig, present func(store.DomID) bool) *liveness {
+	return &liveness{
+		k:        k,
+		st:       st,
+		rec:      rec,
+		timeout:  cfg.HeartbeatTimeout,
+		penalty:  cfg.FallbackPenalty,
+		present:  present,
+		lastBeat: map[store.DomID]sim.Time{},
+		fallback: map[store.DomID]*fallbackState{},
+	}
+}
+
+// Routes: liveness consumes the guest driver's registration and
+// heartbeat keys.
+func (lv *liveness) Routes() Routes {
+	return Routes{DomainKeys: []string{keyHeartbeat, keyDriverPresent}}
+}
+
+func (lv *liveness) OnStoreEvent(ev StoreEvent) {
+	switch ev.Key {
+	case keyHeartbeat:
+		lv.noteHeartbeat(ev.Dom)
+	case keyDriverPresent:
+		if ev.Value == "1" {
+			lv.noteDriverRegistered(ev.Dom)
+		}
+	}
+}
+
+// cooperative reports whether dom may participate in collaborative
+// decisions, lazily demoting it on a stale heartbeat — the check runs at
+// decision sites, so detection costs nothing while everyone is healthy.
+func (lv *liveness) cooperative(dom store.DomID) bool {
+	if !lv.present(dom) {
+		return false
+	}
+	if lv.fallback[dom] != nil {
+		return false
+	}
+	if t := lv.timeout; t > 0 {
+		if last, ok := lv.lastBeat[dom]; ok && lv.k.Now()-last > t {
+			lv.heartbeatMisses++
+			if lv.rec != nil {
+				lv.rec.Record(trace.Record{
+					Kind: trace.KindHeartbeatMiss, Dom: int(dom),
+					Latency: lv.k.Now() - last,
+				})
+			}
+			lv.enterFallback(dom, "heartbeat")
+			return false
+		}
+	}
+	return true
+}
+
+// inFallback is the read-only probe (no lazy heartbeat check).
+func (lv *liveness) inFallback(dom store.DomID) bool { return lv.fallback[dom] != nil }
+
+func (lv *liveness) noteHeartbeat(dom store.DomID) {
+	lv.lastBeat[dom] = lv.k.Now()
+	// A fallen-back guest that has served its penalty and is beating
+	// again earns its way back to collaborative mode.
+	if fb := lv.fallback[dom]; fb != nil && lv.k.Now()-fb.since >= lv.penalty {
+		lv.exitFallback(dom, "heartbeat-resumed")
+	}
+}
+
+func (lv *liveness) noteDriverRegistered(dom store.DomID) {
+	lv.lastBeat[dom] = lv.k.Now()
+	if lv.fallback[dom] != nil {
+		lv.exitFallback(dom, "driver-registered")
+	}
+}
+
+// enterFallback demotes dom to Baseline behavior, then lets every policy
+// unstick anything it was holding or expecting from the guest.
+func (lv *liveness) enterFallback(dom store.DomID, reason string) {
+	if lv.fallback[dom] != nil {
+		return
+	}
+	lv.fallback[dom] = &fallbackState{reason: reason, since: lv.k.Now()}
+	lv.fallbacks++
+	if lv.rec != nil {
+		lv.rec.Record(trace.Record{Kind: trace.KindFallbackEnter, Dom: int(dom), Value: reason})
+	}
+	lv.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, true)
+	for _, h := range lv.hooks {
+		h.OnFallback(dom)
+	}
+}
+
+// exitFallback restores dom to collaborative mode with a clean slate.
+func (lv *liveness) exitFallback(dom store.DomID, reason string) {
+	if lv.fallback[dom] == nil {
+		return
+	}
+	delete(lv.fallback, dom)
+	lv.restores++
+	if lv.rec != nil {
+		lv.rec.Record(trace.Record{Kind: trace.KindFallbackExit, Dom: int(dom), Value: reason})
+	}
+	lv.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, false)
+	lv.lastBeat[dom] = lv.k.Now() // fresh grace window
+	for _, h := range lv.hooks {
+		h.OnRestore(dom)
+	}
+}
+
+// noteAttached seeds the grace window: registration counts as the first
+// heartbeat (the real one arrives through the store a notification
+// latency later).
+func (lv *liveness) noteAttached(dom store.DomID) { lv.lastBeat[dom] = lv.k.Now() }
+
+// forget drops all liveness state for a removed guest.
+func (lv *liveness) forget(dom store.DomID) {
+	delete(lv.lastBeat, dom)
+	delete(lv.fallback, dom)
+}

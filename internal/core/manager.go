@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 
+	"iorchestra/internal/fault"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
@@ -11,156 +12,16 @@ import (
 	"iorchestra/internal/trace"
 )
 
-// Policies selects which collaborative functions the manager runs; the
-// paper's ablation experiments enable them one at a time (Sec. 5.3–5.5).
-type Policies struct {
-	Flush      bool // Algorithm 1: cross-domain dirty-page flush control
-	Congestion bool // Algorithm 2: collaborative congestion control
-	Cosched    bool // Sec. 3.3: inter-domain I/O co-scheduling
-}
-
-// All enables every policy — the full IOrchestra configuration.
-func All() Policies { return Policies{Flush: true, Congestion: true, Cosched: true} }
-
-// ManagerConfig tunes the hypervisor-side modules.
-type ManagerConfig struct {
-	// FlushUtilFrac: flush when device bandwidth is below this fraction
-	// of capacity (paper: one tenth).
-	FlushUtilFrac float64
-	// FlushCheckInterval paces idle-bandwidth checks while dirty VMs exist.
-	FlushCheckInterval sim.Duration
-	// FlushTimeout abandons an unanswered flush_now.
-	FlushTimeout sim.Duration
-	// MinFlushBytes: do not bother a guest whose dirty set is smaller
-	// (avoids churning sync() for crumbs).
-	MinFlushBytes int64
-	// FlushCooldown spaces successive flush notices.
-	FlushCooldown sim.Duration
-	// CongestionCheckInterval paces host-relief checks while VMs are held.
-	CongestionCheckInterval sim.Duration
-	// ReleaseStaggerMax is the FIFO wake-up stagger bound (paper: 0–99 ms).
-	ReleaseStaggerMax sim.Duration
-	// CoschedInterval is the weight-update cadence (paper: every second).
-	CoschedInterval sim.Duration
-	// CoschedChangeFrac forces an early update when the core-latency
-	// ratio shifts by more than this fraction (paper: 50 %).
-	CoschedChangeFrac float64
-	// CoschedMinLatency gates process redistribution: below this on-core
-	// latency there is no contention worth rebalancing, and migrations
-	// would only disturb cache and CPU co-location.
-	CoschedMinLatency sim.Duration
-
-	// Graceful degradation (docs/FAULTS.md). The paper's host waits on
-	// guest cooperation; these bounds make every wait finite so one bad
-	// guest can never stall a loop or starve siblings.
-
-	// HeartbeatTimeout demotes a guest whose iorchestra/heartbeat is
-	// older than this to Baseline behavior (default 350 ms — three
-	// missed 100 ms beats plus delivery slack). <= 0 disables the check.
-	HeartbeatTimeout sim.Duration
-	// FlushMaxRetries bounds re-issued flush orders per (guest, disk)
-	// after a FlushTimeout expiry before the guest falls back.
-	FlushMaxRetries int
-	// ReleaseAckTimeout re-publishes an unacknowledged release_request
-	// (the ack is the guest's reset to 0); <= 0 disables retries.
-	ReleaseAckTimeout sim.Duration
-	// ReleaseMaxRetries bounds release re-publishes before fallback.
-	ReleaseMaxRetries int
-	// HoldDeadline force-releases a guest held in congestion avoidance
-	// this long even if the host still looks congested — the safety
-	// valve against a stuck device starving held guests forever.
-	HoldDeadline sim.Duration
-	// FallbackPenalty is how long a fallen-back guest must heartbeat
-	// again before it is restored (a driver re-registration restores it
-	// immediately).
-	FallbackPenalty sim.Duration
-}
-
-func (c *ManagerConfig) fillDefaults() {
-	if c.FlushUtilFrac <= 0 {
-		c.FlushUtilFrac = 0.1
-	}
-	if c.FlushCheckInterval <= 0 {
-		c.FlushCheckInterval = 50 * sim.Millisecond
-	}
-	if c.FlushTimeout <= 0 {
-		c.FlushTimeout = sim.Second
-	}
-	if c.MinFlushBytes <= 0 {
-		c.MinFlushBytes = 8 << 20
-	}
-	if c.FlushCooldown <= 0 {
-		c.FlushCooldown = 200 * sim.Millisecond
-	}
-	if c.CongestionCheckInterval <= 0 {
-		c.CongestionCheckInterval = 5 * sim.Millisecond
-	}
-	if c.ReleaseStaggerMax <= 0 {
-		c.ReleaseStaggerMax = 99 * sim.Millisecond
-	}
-	if c.CoschedInterval <= 0 {
-		c.CoschedInterval = sim.Second
-	}
-	if c.CoschedChangeFrac <= 0 {
-		c.CoschedChangeFrac = 0.5
-	}
-	if c.CoschedMinLatency <= 0 {
-		c.CoschedMinLatency = 150 * sim.Microsecond
-	}
-	if c.HeartbeatTimeout <= 0 {
-		c.HeartbeatTimeout = 350 * sim.Millisecond
-	}
-	if c.FlushMaxRetries <= 0 {
-		c.FlushMaxRetries = 2
-	}
-	if c.ReleaseAckTimeout <= 0 {
-		c.ReleaseAckTimeout = 100 * sim.Millisecond
-	}
-	if c.ReleaseMaxRetries <= 0 {
-		c.ReleaseMaxRetries = 3
-	}
-	if c.HoldDeadline <= 0 {
-		c.HoldDeadline = 5 * sim.Second
-	}
-	if c.FallbackPenalty <= 0 {
-		c.FallbackPenalty = 2 * sim.Second
-	}
-}
-
-type congEntry struct {
-	dom   store.DomID
-	disk  string
-	since sim.Time // when the guest was confirmed held (HoldDeadline clock)
-}
-
-// retryKey indexes bounded-retry state per (guest, disk).
-type retryKey struct {
-	dom  store.DomID
-	disk string
-}
-
-// fallbackState marks a guest demoted to Baseline behavior.
-type fallbackState struct {
-	reason string
-	since  sim.Time
-}
-
-// releaseState tracks an unacknowledged release_request.
-type releaseState struct {
-	disk    string
-	retries int
-	timer   *sim.Event
-}
-
-type dirtyState struct {
-	nr       int64
-	hasDirty bool
-	lastGrow sim.Time
-}
-
-// Manager is the hypervisor side of IOrchestra: the monitoring module
-// (device and I/O-core sampling) plus the management module (policy
-// decisions published through the system store, Fig. 3).
+// Manager is the hypervisor side of IOrchestra: the paper's management
+// module (Fig. 3) as an orchestrator over pluggable policy controllers.
+// It owns the privileged store watch and fans parsed events out to the
+// controllers' declared routes, hosts the shared liveness middleware,
+// and runs the per-guest lifecycle (driver installation, teardown). The
+// policies themselves live in flush.go, congestion.go and cosched.go;
+// the Manager holds no policy state of its own.
+//
+// Manager is itself a Controller, so platforms install it through the
+// same registry as the baseline systems.
 type Manager struct {
 	h   *hypervisor.Host
 	k   *sim.Kernel
@@ -171,53 +32,31 @@ type Manager struct {
 	rec *trace.Recorder // host's decision-trace recorder (may be nil)
 
 	drivers map[store.DomID]*Driver
+	live    *liveness
+	faults  *fault.Injector // optional; see SetFaults
 
-	// Flush state (Algorithm 1).
-	dirty            map[store.DomID]map[string]*dirtyState
-	flushTimer       *sim.Event
-	outstandingDom   store.DomID
-	outstandingDisk  string
-	outstandingSince sim.Time
-	lastFlushNotice  sim.Time
-	flushNotices     uint64
+	// subs are the policy controllers in registration order; flush,
+	// congest and cosched alias the entries for counter snapshots and
+	// targeted delegation (each may be nil under a partial Policies).
+	subs    []Controller
+	flush   *flushController
+	congest *congestController
+	cosched *coschedController
 
-	// Congestion state (Algorithm 2).
-	held      []congEntry
-	congTimer *sim.Event
-	vetoes    uint64 // queries answered "not congested"
-	confirms  uint64 // queries answered "congested"
-	relieves  uint64 // VMs released on host relief
+	// Store-event routing tables, built from each handler's Routes().
+	diskRoutes   map[string][]StoreHandler
+	domainRoutes map[string][]StoreHandler
+	prefixRoutes []prefixRoute
+}
 
-	// Co-scheduling state (Sec. 3.3).
-	coschedTimer *sim.Event
-	lastRatio    float64
-	lastApply    sim.Time
-	coschedRuns  uint64
-	coschedOff   map[store.DomID]bool
-
-	// Graceful-degradation state (docs/FAULTS.md).
-	lastBeat     map[store.DomID]sim.Time
-	fallback     map[store.DomID]*fallbackState
-	flushRetries map[retryKey]int
-	pendingRel   map[store.DomID]*releaseState
-	// withdrawn counts the manager's own flush_now=0 withdrawal writes
-	// whose watch notifications are still in flight: they must not be
-	// mistaken for guest acks (the notification arrives a latency later,
-	// possibly after the next order went out).
-	withdrawn map[retryKey]int
-
-	flushTimeouts   uint64
-	heartbeatMisses uint64
-	releaseRetries  uint64
-	releaseTimeouts uint64
-	holdTimeouts    uint64
-	fallbacks       uint64
-	restores        uint64
+type prefixRoute struct {
+	prefix  string
+	handler StoreHandler
 }
 
 // NewManager attaches IOrchestra's hypervisor modules to h with the given
-// policies. Guests must be enabled individually with EnableGuest after
-// their disks are attached.
+// policies. Guests must be enabled individually with EnableGuest (or
+// Attach) after their disks are attached.
 func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.Stream) *Manager {
 	cfg.fillDefaults()
 	m := &Manager{
@@ -229,19 +68,81 @@ func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.
 		cfg:          cfg,
 		rec:          h.Recorder(),
 		drivers:      map[store.DomID]*Driver{},
-		dirty:        map[store.DomID]map[string]*dirtyState{},
-		coschedOff:   map[store.DomID]bool{},
-		lastBeat:     map[store.DomID]sim.Time{},
-		fallback:     map[store.DomID]*fallbackState{},
-		flushRetries: map[retryKey]int{},
-		pendingRel:   map[store.DomID]*releaseState{},
-		withdrawn:    map[retryKey]int{},
+		diskRoutes:   map[string][]StoreHandler{},
+		domainRoutes: map[string][]StoreHandler{},
+	}
+	m.live = newLiveness(m.k, m.st, m.rec, &m.cfg,
+		func(dom store.DomID) bool { _, ok := m.drivers[dom]; return ok })
+	m.addRoutes(m.live)
+	if pol.Flush {
+		m.flush = newFlushController(m)
+		m.register(m.flush)
+	}
+	if pol.Congestion {
+		m.congest = newCongestController(m)
+		m.register(m.congest)
+	}
+	if pol.Cosched {
+		m.cosched = newCoschedController(m)
+		m.register(m.cosched)
 	}
 	// The management module is called when there is a change on watched
-	// items (Fig. 3): one privileged watch over all domains.
+	// items (Fig. 3): one privileged watch over all domains, fanned out
+	// to the registered routes.
 	m.st.Watch(store.Dom0, "/local/domain", m.onStoreEvent)
 	return m
 }
+
+// register wires a policy controller into the manager's framework:
+// lifecycle dispatch, store-event routing, and liveness callbacks.
+func (m *Manager) register(c Controller) {
+	m.subs = append(m.subs, c)
+	if sh, ok := c.(StoreHandler); ok {
+		m.addRoutes(sh)
+	}
+	if fh, ok := c.(FallbackHook); ok {
+		m.live.hooks = append(m.live.hooks, fh)
+	}
+}
+
+func (m *Manager) addRoutes(sh StoreHandler) {
+	r := sh.Routes()
+	for _, k := range r.DiskKeys {
+		m.diskRoutes[k] = append(m.diskRoutes[k], sh)
+	}
+	for _, k := range r.DomainKeys {
+		m.domainRoutes[k] = append(m.domainRoutes[k], sh)
+	}
+	for _, p := range r.DomainPrefixes {
+		m.prefixRoutes = append(m.prefixRoutes, prefixRoute{prefix: p, handler: sh})
+	}
+}
+
+// SetFaults installs the platform's fault injector: Attach consults it
+// to decide whether a guest's driver registers at all (an uncooperative
+// legacy image) and to arm per-driver crash/sync faults.
+func (m *Manager) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// Name identifies the manager in the platform's controller registry.
+func (m *Manager) Name() string { return "iorchestra" }
+
+// Attach is the Controller lifecycle entry: it enables the guest unless
+// the fault layer marks it uncooperative — such a guest never registers
+// a driver, the exact shape a legacy image presents; its I/O still flows
+// through the shared backend.
+func (m *Manager) Attach(rt *hypervisor.GuestRuntime) {
+	if m.faults != nil && m.faults.Uncooperative(rt.G.ID()) {
+		return
+	}
+	drv := m.EnableGuest(rt)
+	if m.faults != nil {
+		drv.SetSyncFault(m.faults.SyncFault(rt.G.ID()))
+		m.faults.ScheduleCrash(rt.G.ID(), drv)
+	}
+}
+
+// Detach is the Controller lifecycle exit (see DisableGuest).
+func (m *Manager) Detach(dom store.DomID) { m.DisableGuest(dom) }
 
 // EnableGuest installs the guest driver for rt and registers it with the
 // manager. Returns the driver for inspection.
@@ -250,15 +151,15 @@ func (m *Manager) EnableGuest(rt *hypervisor.GuestRuntime) *Driver {
 	m.drivers[rt.G.ID()] = drv
 	// Registration counts as the first heartbeat: the real one arrives
 	// through the store a notification latency later.
-	m.lastBeat[rt.G.ID()] = m.k.Now()
-	if m.pol.Cosched {
-		m.armCosched()
+	m.live.noteAttached(rt.G.ID())
+	for _, c := range m.subs {
+		c.Attach(rt)
 	}
 	return drv
 }
 
-// DisableGuest closes a guest's driver and forgets every piece of policy
-// state about it — the teardown path for guest removal (the arrival
+// DisableGuest closes a guest's driver and lets every controller forget
+// its policy state — the teardown path for guest removal (the arrival
 // experiments call it through Platform.Disable). Safe to call for guests
 // that were never enabled.
 func (m *Manager) DisableGuest(dom store.DomID) {
@@ -268,87 +169,46 @@ func (m *Manager) DisableGuest(dom store.DomID) {
 	}
 	drv.Close()
 	delete(m.drivers, dom)
-	delete(m.dirty, dom)
-	delete(m.lastBeat, dom)
-	delete(m.fallback, dom)
-	delete(m.coschedOff, dom)
-	if rs := m.pendingRel[dom]; rs != nil {
-		m.k.Cancel(rs.timer)
-		delete(m.pendingRel, dom)
+	for _, c := range m.subs {
+		c.Detach(dom)
 	}
-	kept := m.held[:0]
-	for _, e := range m.held {
-		if e.dom != dom {
-			kept = append(kept, e)
-		}
-	}
-	m.held = kept
-	if m.outstandingDom == dom {
-		m.outstandingDom = 0
-	}
-	for rk := range m.flushRetries {
-		if rk.dom == dom {
-			delete(m.flushRetries, rk)
-		}
-	}
-	for rk := range m.withdrawn {
-		if rk.dom == dom {
-			delete(m.withdrawn, rk)
-		}
-	}
+	m.live.forget(dom)
 }
 
 // Driver returns the installed driver for a domain (nil if not enabled).
 func (m *Manager) Driver(dom store.DomID) *Driver { return m.drivers[dom] }
 
-// FlushNotices, Vetoes, Confirms, Relieves, CoschedRuns expose counters.
-func (m *Manager) FlushNotices() uint64 { return m.flushNotices }
-
-// Vetoes reports congestion queries answered "host not congested".
-func (m *Manager) Vetoes() uint64 { return m.vetoes }
-
-// Confirms reports congestion queries answered "host congested".
-func (m *Manager) Confirms() uint64 { return m.confirms }
-
-// Relieves reports VMs released when the host device left congestion.
-func (m *Manager) Relieves() uint64 { return m.relieves }
-
-// CoschedRuns reports co-scheduling weight updates applied.
-func (m *Manager) CoschedRuns() uint64 { return m.coschedRuns }
-
-// FlushTimeouts reports flush orders abandoned at the deadline.
-func (m *Manager) FlushTimeouts() uint64 { return m.flushTimeouts }
-
-// HeartbeatMisses reports stale-heartbeat detections.
-func (m *Manager) HeartbeatMisses() uint64 { return m.heartbeatMisses }
-
-// ReleaseRetries reports re-published release_request orders.
-func (m *Manager) ReleaseRetries() uint64 { return m.releaseRetries }
-
-// ReleaseTimeouts reports releases that exhausted their retries.
-func (m *Manager) ReleaseTimeouts() uint64 { return m.releaseTimeouts }
-
-// HoldTimeouts reports guests force-released at the hold deadline.
-func (m *Manager) HoldTimeouts() uint64 { return m.holdTimeouts }
-
-// Fallbacks reports guests demoted to Baseline behavior.
-func (m *Manager) Fallbacks() uint64 { return m.fallbacks }
-
-// Restores reports guests restored to collaborative mode.
-func (m *Manager) Restores() uint64 { return m.restores }
-
 // InFallback reports whether dom is currently demoted (read-only; use
 // Cooperative to also run the lazy heartbeat check).
-func (m *Manager) InFallback(dom store.DomID) bool { return m.fallback[dom] != nil }
+func (m *Manager) InFallback(dom store.DomID) bool { return m.live.inFallback(dom) }
+
+// Cooperative is the exported liveness probe: it runs the same lazy
+// heartbeat check the decision loops use.
+func (m *Manager) Cooperative(dom store.DomID) bool { return m.live.cooperative(dom) }
 
 // DisableCosched excludes one guest from co-scheduling decisions (weight
 // targets and quanta); ablation experiments use it to hold a guest's
-// process placement static on an otherwise identical platform.
-func (m *Manager) DisableCosched(dom store.DomID) { m.coschedOff[dom] = true }
+// process placement static on an otherwise identical platform. A no-op
+// when the manager runs without the co-scheduling policy.
+func (m *Manager) DisableCosched(dom store.DomID) {
+	if m.cosched != nil {
+		m.cosched.disable(dom)
+	}
+}
 
-// --- Store event dispatch --------------------------------------------------
+// crossSocketGuestExists reports whether any enabled guest spans sockets
+// (the population co-scheduling can act on).
+func (m *Manager) crossSocketGuestExists() bool {
+	for _, drv := range m.drivers {
+		if len(drv.g.Sockets()) > 1 {
+			return true
+		}
+	}
+	return false
+}
 
-// onStoreEvent parses /local/domain/<id>/<rel> and routes to policies.
+// onStoreEvent parses /local/domain/<id>/<rel> and routes to the
+// controllers whose declared keys match.
 func (m *Manager) onStoreEvent(path, value string) {
 	const prefix = "/local/domain/"
 	if !strings.HasPrefix(path, prefix) {
@@ -365,636 +225,27 @@ func (m *Manager) onStoreEvent(path, value string) {
 	}
 	dom := store.DomID(id)
 	rel := rest[i+1:]
-	switch {
-	case strings.HasPrefix(rel, "virt-dev/"):
+	if strings.HasPrefix(rel, "virt-dev/") {
 		dr := rel[len("virt-dev/"):]
 		j := strings.IndexByte(dr, '/')
 		if j < 0 {
 			return
 		}
 		disk, key := dr[:j], dr[j+1:]
-		switch key {
-		case keyHasDirty:
-			if m.pol.Flush {
-				m.noteDirty(dom, disk, value == "1")
-			}
-		case keyNrDirty:
-			if m.pol.Flush {
-				if nr, err := strconv.ParseInt(value, 10, 64); err == nil {
-					m.noteNr(dom, disk, nr)
-				}
-			}
-		case keyCongestQuery:
-			if m.pol.Congestion && value == "1" {
-				m.handleCongestQuery(dom, disk)
-			}
-		case keyFlushNow:
-			if value == "0" {
-				rk := retryKey{dom: dom, disk: disk}
-				if m.withdrawn[rk] > 0 {
-					// Our own withdrawal echoing back — not a guest ack.
-					if m.withdrawn[rk]--; m.withdrawn[rk] == 0 {
-						delete(m.withdrawn, rk)
-					}
-					return
-				}
-				if dom == m.outstandingDom && disk == m.outstandingDisk {
-					m.outstandingDom = 0 // guest answered; allow the next flush
-					delete(m.flushRetries, rk)
-				}
-			}
+		for _, h := range m.diskRoutes[key] {
+			h.OnStoreEvent(StoreEvent{Dom: dom, Disk: disk, Key: key, Value: value})
 		}
-	case rel == keyHeartbeat:
-		m.noteHeartbeat(dom)
-	case rel == keyDriverPresent:
-		if value == "1" {
-			m.noteDriverRegistered(dom)
-		}
-	case rel == keyReleaseRequest:
-		// The manager writes "1"; the guest's reset to "0" is the ack.
-		if value == "0" {
-			m.noteReleaseAck(dom)
-		}
-	case strings.HasPrefix(rel, keyWeightPrefix+"/") || rel == keyTotalWeight:
-		if m.pol.Cosched {
-			m.armCosched()
-		}
-	}
-}
-
-// --- Graceful degradation ---------------------------------------------------
-//
-// The collaborative functions assume a live driver on the other side of
-// the store. When one guest stops cooperating — no driver, crashed
-// driver, stuck sync, lost notifications — the manager demotes exactly
-// that guest to Baseline behavior: skipped by Algorithm 1's argmax, no
-// verdicts in Algorithm 2 (the guest's kernel falls back to its local
-// avoidance), excluded from Algorithm 3's redistribution. Siblings keep
-// full collaboration. docs/FAULTS.md is the runbook.
-
-// cooperative reports whether dom may participate in collaborative
-// decisions, lazily demoting it on a stale heartbeat — the check runs at
-// decision sites, so detection costs nothing while everyone is healthy.
-func (m *Manager) cooperative(dom store.DomID) bool {
-	if _, ok := m.drivers[dom]; !ok {
-		return false
-	}
-	if m.fallback[dom] != nil {
-		return false
-	}
-	if t := m.cfg.HeartbeatTimeout; t > 0 {
-		if last, ok := m.lastBeat[dom]; ok && m.k.Now()-last > t {
-			m.heartbeatMisses++
-			if m.rec != nil {
-				m.rec.Record(trace.Record{
-					Kind: trace.KindHeartbeatMiss, Dom: int(dom),
-					Latency: m.k.Now() - last,
-				})
-			}
-			m.enterFallback(dom, "heartbeat")
-			return false
-		}
-	}
-	return true
-}
-
-// Cooperative is the exported probe: it runs the same lazy heartbeat
-// check the decision loops use.
-func (m *Manager) Cooperative(dom store.DomID) bool { return m.cooperative(dom) }
-
-func (m *Manager) noteHeartbeat(dom store.DomID) {
-	m.lastBeat[dom] = m.k.Now()
-	// A fallen-back guest that has served its penalty and is beating
-	// again earns its way back to collaborative mode.
-	if fb := m.fallback[dom]; fb != nil && m.k.Now()-fb.since >= m.cfg.FallbackPenalty {
-		m.exitFallback(dom, "heartbeat-resumed")
-	}
-}
-
-func (m *Manager) noteDriverRegistered(dom store.DomID) {
-	m.lastBeat[dom] = m.k.Now()
-	if m.fallback[dom] != nil {
-		m.exitFallback(dom, "driver-registered")
-	}
-}
-
-// enterFallback demotes dom to Baseline behavior and unsticks anything
-// the manager was holding or expecting from it.
-func (m *Manager) enterFallback(dom store.DomID, reason string) {
-	if m.fallback[dom] != nil {
 		return
 	}
-	m.fallback[dom] = &fallbackState{reason: reason, since: m.k.Now()}
-	m.fallbacks++
-	if m.rec != nil {
-		m.rec.Record(trace.Record{Kind: trace.KindFallbackEnter, Dom: int(dom), Value: reason})
-	}
-	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, true)
-	// Stop expecting acks from a guest we no longer trust.
-	if rs := m.pendingRel[dom]; rs != nil {
-		m.k.Cancel(rs.timer)
-		delete(m.pendingRel, dom)
-	}
-	if m.outstandingDom == dom {
-		m.outstandingDom = 0
-	}
-	// Anything still held must not stay parked behind a dead protocol:
-	// publish one last best-effort release (a live-but-slow driver will
-	// act on it; a dead one leaves its queues to the local controller).
-	var wasHeld bool
-	kept := m.held[:0]
-	for _, e := range m.held {
-		if e.dom == dom {
-			wasHeld = true
-		} else {
-			kept = append(kept, e)
+	if hs := m.domainRoutes[rel]; hs != nil {
+		for _, h := range hs {
+			h.OnStoreEvent(StoreEvent{Dom: dom, Key: rel, Value: value})
 		}
-	}
-	m.held = kept
-	if wasHeld {
-		m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
-	}
-}
-
-// exitFallback restores dom to collaborative mode with a clean slate.
-func (m *Manager) exitFallback(dom store.DomID, reason string) {
-	if m.fallback[dom] == nil {
 		return
 	}
-	delete(m.fallback, dom)
-	m.restores++
-	if m.rec != nil {
-		m.rec.Record(trace.Record{Kind: trace.KindFallbackExit, Dom: int(dom), Value: reason})
-	}
-	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, false)
-	for rk := range m.flushRetries {
-		if rk.dom == dom {
-			delete(m.flushRetries, rk)
+	for _, pr := range m.prefixRoutes {
+		if strings.HasPrefix(rel, pr.prefix) {
+			pr.handler.OnStoreEvent(StoreEvent{Dom: dom, Key: rel, Value: value})
 		}
 	}
-	m.lastBeat[dom] = m.k.Now() // fresh grace window
-	if m.anyDirty() {
-		m.armFlush()
-	}
-}
-
-// --- Algorithm 1: policy for flushing dirty pages --------------------------
-
-func (m *Manager) noteDirty(dom store.DomID, disk string, has bool) {
-	byDisk := m.dirty[dom]
-	if byDisk == nil {
-		byDisk = map[string]*dirtyState{}
-		m.dirty[dom] = byDisk
-	}
-	ds := byDisk[disk]
-	if ds == nil {
-		ds = &dirtyState{}
-		byDisk[disk] = ds
-	}
-	ds.hasDirty = has
-	if !has {
-		ds.nr = 0
-	}
-	if has {
-		m.armFlush()
-	}
-}
-
-func (m *Manager) noteNr(dom store.DomID, disk string, nr int64) {
-	byDisk := m.dirty[dom]
-	if byDisk == nil {
-		return
-	}
-	if ds := byDisk[disk]; ds != nil {
-		if nr > ds.nr {
-			ds.lastGrow = m.k.Now()
-		}
-		ds.nr = nr
-	}
-}
-
-func (m *Manager) anyDirty() bool {
-	for _, byDisk := range m.dirty {
-		for _, ds := range byDisk {
-			if ds.hasDirty {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// armFlush schedules idle-bandwidth checks while dirty VMs exist — the
-// lazy-timer pattern keeps the event calendar empty when there is nothing
-// to do, matching the paper's "only reacts to certain system events".
-func (m *Manager) armFlush() {
-	if !m.pol.Flush || m.flushTimer != nil {
-		return
-	}
-	m.flushTimer = m.k.After(m.cfg.FlushCheckInterval, func() {
-		m.flushTimer = nil
-		m.flushTick()
-		if m.anyDirty() {
-			m.armFlush()
-		}
-	})
-}
-
-// flushTick is Algorithm 1's management branch: when the device has low
-// utilization, tell the guest with the most dirty pages to flush.
-func (m *Manager) flushTick() {
-	now := m.k.Now()
-	if m.outstandingDom != 0 {
-		if now-m.outstandingSince < m.cfg.FlushTimeout {
-			return
-		}
-		// Deadline expired: the guest never answered flush_now. Withdraw
-		// the stale order, count a bounded retry against the pair, and
-		// after FlushMaxRetries demote the guest so the argmax below can
-		// never pick the same dead guest forever while live candidates
-		// starve.
-		dom, disk := m.outstandingDom, m.outstandingDisk
-		m.outstandingDom = 0
-		m.flushTimeouts++
-		rk := retryKey{dom: dom, disk: disk}
-		m.flushRetries[rk]++
-		if m.rec != nil {
-			m.rec.Record(trace.Record{
-				Kind: trace.KindFlushTimeout, Dom: int(dom), Disk: disk,
-				Value: strconv.Itoa(m.flushRetries[rk]),
-			})
-		}
-		m.withdrawn[rk]++
-		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyFlushNow), false)
-		if m.flushRetries[rk] > m.cfg.FlushMaxRetries {
-			delete(m.flushRetries, rk)
-			m.enterFallback(dom, "flush-deadline")
-		}
-	}
-	// Algorithm 1's trigger, taken literally: act only when the device
-	// moves less than one tenth of its capacity. A busy device means some
-	// VM is in a latency-sensitive phase — flushing now would hurt it.
-	dev := m.h.Device()
-	if dev.BandwidthBps(now) >= m.cfg.FlushUtilFrac*dev.CapacityBps() {
-		return
-	}
-	if m.flushNotices > 0 && now-m.lastFlushNotice < m.cfg.FlushCooldown {
-		return
-	}
-	// i = argmax_i nr_i over guests with dirty pages, skipping guests
-	// whose dirty set is still growing — they are mid-write-burst, and a
-	// sync() now would stall exactly the VM the policy is protecting.
-	var bestDom store.DomID
-	var bestDisk string
-	var bestNr int64 = -1
-	for dom, byDisk := range m.dirty {
-		if !m.cooperative(dom) {
-			// Fallback guests are Baseline guests: their own flusher
-			// threads own the dirty pages (Algorithm 1 skips them).
-			continue
-		}
-		for disk, ds := range byDisk {
-			if ds.hasDirty && ds.nr > bestNr && now-ds.lastGrow > 200*sim.Millisecond {
-				bestDom, bestDisk, bestNr = dom, disk, ds.nr
-			}
-		}
-	}
-	if bestNr < 0 || bestNr*4096 < m.cfg.MinFlushBytes {
-		return
-	}
-	m.flushNotices++
-	m.lastFlushNotice = now
-	m.outstandingDom, m.outstandingDisk, m.outstandingSince = bestDom, bestDisk, now
-	if m.rec != nil {
-		m.rec.Record(trace.Record{
-			Kind: trace.KindFlushOrder, Dom: int(bestDom), Disk: bestDisk,
-			NrDirty: bestNr, DeviceBps: dev.BandwidthBps(now),
-			UtilFrac: dev.UtilFraction(now),
-		})
-	}
-	m.st.WriteBool(store.Dom0, absDiskKey(bestDom, bestDisk, keyFlushNow), true)
-}
-
-// --- Algorithm 2: policy for congestion control ----------------------------
-
-// handleCongestQuery answers a guest's congestion query: confirm when the
-// host device is genuinely overcrowded, otherwise release the guest.
-func (m *Manager) handleCongestQuery(dom store.DomID, disk string) {
-	if !m.cooperative(dom) {
-		// No verdict for a fallback guest: its kernel's local avoidance
-		// (engage at 7/8, release below 13/16) is exactly Baseline.
-		return
-	}
-	// Reset the query flag so subsequent queries re-fire the watch.
-	m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongestQuery), false)
-	if m.h.IOCongested() {
-		m.confirms++
-		m.recordCongestion(trace.KindCongestConfirm, dom, disk)
-		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongested), true)
-		for _, e := range m.held {
-			if e.dom == dom && e.disk == disk {
-				return
-			}
-		}
-		m.held = append(m.held, congEntry{dom: dom, disk: disk, since: m.k.Now()})
-		m.armCongestion()
-		return
-	}
-	m.vetoes++
-	m.requestRelease(dom, disk, trace.KindCongestVeto)
-}
-
-// requestRelease records the verdict, publishes release_request=1 and
-// arms the bounded ack-retry machinery: a lost notification must not
-// leave the guest's producers parked forever.
-func (m *Manager) requestRelease(dom store.DomID, disk string, kind trace.Kind) {
-	m.recordCongestion(kind, dom, disk)
-	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
-	m.armReleaseRetry(dom, disk)
-}
-
-func (m *Manager) armReleaseRetry(dom store.DomID, disk string) {
-	if m.cfg.ReleaseAckTimeout <= 0 || m.pendingRel[dom] != nil {
-		return
-	}
-	rs := &releaseState{disk: disk}
-	m.pendingRel[dom] = rs
-	rs.timer = m.k.After(m.cfg.ReleaseAckTimeout, func() { m.releaseRetryTick(dom, rs) })
-}
-
-func (m *Manager) releaseRetryTick(dom store.DomID, rs *releaseState) {
-	if m.pendingRel[dom] != rs {
-		return
-	}
-	// The guest resets release_request to 0 when it acts; a still-set key
-	// means the order (or its notification) was lost.
-	if v, _ := m.st.ReadBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest); !v {
-		delete(m.pendingRel, dom)
-		return
-	}
-	if rs.retries >= m.cfg.ReleaseMaxRetries {
-		delete(m.pendingRel, dom)
-		m.releaseTimeouts++
-		if m.rec != nil {
-			m.rec.Record(trace.Record{
-				Kind: trace.KindReleaseTimeout, Dom: int(dom), Disk: rs.disk,
-				Value: strconv.Itoa(rs.retries),
-			})
-		}
-		m.enterFallback(dom, "release-deadline")
-		return
-	}
-	rs.retries++
-	m.releaseRetries++
-	if m.rec != nil {
-		m.rec.Record(trace.Record{
-			Kind: trace.KindReleaseRetry, Dom: int(dom), Disk: rs.disk,
-			Value: strconv.Itoa(rs.retries),
-		})
-	}
-	// Re-publish: the write re-fires the guest's watch even though the
-	// value does not change.
-	m.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyReleaseRequest, true)
-	rs.timer = m.k.After(m.cfg.ReleaseAckTimeout, func() { m.releaseRetryTick(dom, rs) })
-}
-
-func (m *Manager) noteReleaseAck(dom store.DomID) {
-	if rs := m.pendingRel[dom]; rs != nil {
-		m.k.Cancel(rs.timer)
-		delete(m.pendingRel, dom)
-	}
-}
-
-// recordCongestion traces an Algorithm 2 verdict with the host queue
-// depths that justified it.
-func (m *Manager) recordCongestion(kind trace.Kind, dom store.DomID, disk string) {
-	if m.rec == nil {
-		return
-	}
-	m.rec.Record(trace.Record{
-		Kind: kind, Dom: int(dom), Disk: disk,
-		QueueDepth: m.h.Cgroup().Backlog(),
-		DevPending: m.h.Device().Pending(),
-	})
-}
-
-func (m *Manager) armCongestion() {
-	if m.congTimer != nil {
-		return
-	}
-	m.congTimer = m.k.After(m.cfg.CongestionCheckInterval, func() {
-		m.congTimer = nil
-		m.congestionTick()
-		if len(m.held) > 0 {
-			m.armCongestion()
-		}
-	})
-}
-
-// congestionTick is Algorithm 2's relief branch: once the host device is
-// no longer congested, release held VMs in FIFO order, interleaved with a
-// random 0–99 ms stagger.
-func (m *Manager) congestionTick() {
-	if len(m.held) == 0 {
-		return
-	}
-	now := m.k.Now()
-	if m.h.IOCongested() {
-		// Still congested — but nobody may be held past HoldDeadline: a
-		// device stuck in a degraded state (or a torn congested key)
-		// must not park a guest's producers forever.
-		if m.cfg.HoldDeadline <= 0 {
-			return
-		}
-		kept := m.held[:0]
-		for _, e := range m.held {
-			if now-e.since >= m.cfg.HoldDeadline {
-				m.holdTimeouts++
-				m.requestRelease(e.dom, e.disk, trace.KindHoldTimeout)
-			} else {
-				kept = append(kept, e)
-			}
-		}
-		m.held = kept
-		return
-	}
-	var offset sim.Duration
-	for _, e := range m.held {
-		dom, disk := e.dom, e.disk
-		m.relieves++
-		m.k.After(offset, func() {
-			m.requestRelease(dom, disk, trace.KindCongestRelease)
-		})
-		offset += sim.Duration(m.rng.Int63n(int64(m.cfg.ReleaseStaggerMax)))
-	}
-	m.held = m.held[:0]
-}
-
-// --- Sec. 3.3: inter-domain I/O co-scheduling -------------------------------
-
-func (m *Manager) armCosched() {
-	if !m.pol.Cosched || m.coschedTimer != nil {
-		return
-	}
-	// Sample faster than the apply cadence so the >50 %-change trigger
-	// can fire early, as the paper specifies.
-	period := m.cfg.CoschedInterval / 5
-	if period <= 0 {
-		period = 200 * sim.Millisecond
-	}
-	m.coschedTimer = m.k.After(period, func() {
-		m.coschedTimer = nil
-		active := m.coschedTick()
-		if active {
-			m.armCosched()
-		}
-	})
-}
-
-// coschedTick samples per-core latencies, publishes redistribution targets
-// for cross-socket VMs, computes per-VM per-socket I/O shares, and applies
-// DRR quanta and cgroup weights. It reports whether co-scheduling should
-// keep sampling (any I/O-core traffic or cross-socket guests present).
-func (m *Manager) coschedTick() bool {
-	cores := m.h.IOCores()
-	now := m.k.Now()
-	if len(cores) == 0 || len(m.drivers) == 0 {
-		return false
-	}
-	// Monitoring module: collect L_i per core.
-	lat := make([]float64, len(cores))
-	var anyTraffic bool
-	for i, c := range cores {
-		lat[i] = c.MeanLatency(now)
-		if c.Processed() > 0 {
-			anyTraffic = true
-		}
-	}
-	// Change detection on the max/min latency ratio.
-	ratio := maxOf(lat) / minOf(lat)
-	due := now-m.lastApply >= m.cfg.CoschedInterval
-	changed := m.lastRatio > 0 && relDelta(ratio, m.lastRatio) > m.cfg.CoschedChangeFrac
-	if !due && !changed {
-		return anyTraffic || m.crossSocketGuestExists()
-	}
-	m.lastApply = now
-	m.lastRatio = ratio
-	m.coschedRuns++
-	if m.rec != nil {
-		m.rec.Record(trace.Record{
-			Kind:        trace.KindCoschedUpdate,
-			CoreLatency: append([]float64(nil), lat...),
-			Weight:      ratio,
-		})
-	}
-
-	// Weight targets: fraction on socket i ∝ 1/L_i (the paper's inverse-
-	// proportional distribution). Published only when some core is
-	// genuinely contended; otherwise placement is left alone.
-	var invSum float64
-	for _, l := range lat {
-		invSum += 1 / l
-	}
-	contended := maxOf(lat) >= m.cfg.CoschedMinLatency.Seconds()
-	for dom, drv := range m.drivers {
-		if !contended || len(drv.g.Sockets()) < 2 || m.coschedOff[dom] || !m.cooperative(dom) {
-			continue
-		}
-		for _, s := range drv.g.Sockets() {
-			if s >= 0 && s < len(lat) {
-				f := (1 / lat[s]) / invSum
-				// Keep every socket carrying some share so the
-				// distribution converges instead of oscillating between
-				// extremes.
-				if f < 0.1 {
-					f = 0.1
-				}
-				if f > 0.9 {
-					f = 0.9
-				}
-				m.st.WriteFloat(store.Dom0, store.DomainPath(dom)+"/"+socketKey(keyTargetPrefix, s), f)
-			}
-		}
-	}
-
-	// Shares: S_SKT = W_SKT / ΣP · S^(VM); equal S^(VM) across enabled
-	// guests unless overridden in the store.
-	nGuests := len(m.drivers)
-	bwMax := m.h.Device().CapacityBps()
-	type coreShare struct{ sum float64 }
-	shares := make([]coreShare, len(cores))
-	for dom, drv := range m.drivers {
-		if m.coschedOff[dom] || m.fallback[dom] != nil {
-			// Fallback guests keep their last-applied static weights
-			// (Algorithm 3 degradation) — their stale store state must
-			// not keep steering quanta.
-			continue
-		}
-		base := store.DomainPath(dom)
-		vmShare, _ := m.st.ReadFloat(store.Dom0, base+"/"+keyVMShare, 1.0/float64(nGuests))
-		totalW, _ := m.st.ReadFloat(store.Dom0, base+"/"+keyTotalWeight, 0)
-		if totalW <= 0 {
-			continue
-		}
-		for _, s := range drv.g.Sockets() {
-			w, _ := m.st.ReadFloat(store.Dom0, base+"/"+socketKey(keyWeightPrefix, s), 0)
-			sSkt := w / totalW * vmShare
-			m.st.WriteFloat(store.Dom0, base+"/"+socketKey(keySharePrefix, s), sSkt)
-			if s >= 0 && s < len(cores) {
-				// Q_i = BWmax · S_SKT, scaled to a 1 ms round.
-				cores[s].SetQuantum(dom, bwMax*sSkt/1000)
-				shares[s].sum += sSkt
-			}
-		}
-	}
-	// The sum of shares on a socket is its I/O core's weight at the
-	// device (Sec. 3.3: "cgroups with these I/O cores' weights").
-	for i, c := range cores {
-		w := shares[i].sum
-		if w <= 0 {
-			w = 0.01
-		}
-		m.h.Cgroup().SetWeight(c.ID(), w)
-	}
-	return anyTraffic || m.crossSocketGuestExists()
-}
-
-func (m *Manager) crossSocketGuestExists() bool {
-	for _, drv := range m.drivers {
-		if len(drv.g.Sockets()) > 1 {
-			return true
-		}
-	}
-	return false
-}
-
-func maxOf(xs []float64) float64 {
-	v := xs[0]
-	for _, x := range xs[1:] {
-		if x > v {
-			v = x
-		}
-	}
-	return v
-}
-
-func minOf(xs []float64) float64 {
-	v := xs[0]
-	for _, x := range xs[1:] {
-		if x < v {
-			v = x
-		}
-	}
-	return v
-}
-
-func relDelta(a, b float64) float64 {
-	d := a - b
-	if d < 0 {
-		d = -d
-	}
-	if b == 0 {
-		return 0
-	}
-	return d / b
 }

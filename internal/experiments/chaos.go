@@ -89,10 +89,11 @@ func runChaosPoint(sys iorchestra.System, seed uint64, spec fault.Spec, dur sim.
 	pt.mbps = written / dur.Seconds() / 1e6
 	pt.p99 = lat.Percentile(99)
 	if p.Manager != nil {
-		pt.flushTO = p.Manager.FlushTimeouts()
-		pt.hbMiss = p.Manager.HeartbeatMisses()
-		pt.fallback = p.Manager.Fallbacks()
-		pt.restores = p.Manager.Restores()
+		c := p.Manager.Counters()
+		pt.flushTO = c.FlushTimeouts
+		pt.hbMiss = c.HeartbeatMisses
+		pt.fallback = c.Fallbacks
+		pt.restores = c.Restores
 	}
 	if p.Faults != nil {
 		pt.injected = p.Faults.Total()

@@ -130,6 +130,8 @@ type Host struct {
 	coreLoad [][]int
 	// pcores[socket][core] are the physical cores VCPUs execute on.
 	pcores [][]*PCore
+
+	mon *Monitor // lazily built by Monitor()
 }
 
 // GuestRuntime couples a guest with its host-side state.

@@ -1,0 +1,173 @@
+package hypervisor
+
+import (
+	"sort"
+
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+// Monitor is the paper's monitoring module (Sec. 3, Fig. 3) made
+// first-class: the single owner of the hypervisor-side measurement state
+// that policy controllers act on. Controllers read point-in-time
+// snapshots from it — device utilization, per-I/O-core latencies, queue
+// backlogs, per-guest dirty-page state — instead of sampling subsystems
+// directly, so the read side of every policy is uniform and the write
+// side (actuation: flush orders, DRR quanta, cgroup weights) stays on
+// Host and the store.
+//
+// Per-guest dirty state is fed by whoever mirrors the guest's published
+// counters (the flush controller's store-event handler) via the
+// Observe methods; everything else is sampled from the host on demand.
+type Monitor struct {
+	h     *Host
+	dirty map[store.DomID]map[string]*DirtyState
+}
+
+// DirtyState is the monitoring module's view of one (guest, disk)
+// dirty-page mirror: the published nr_i count, the presence bit, and
+// when the count last grew (a recent grow marks a mid-burst writer that
+// Algorithm 1 leaves alone).
+type DirtyState struct {
+	Nr       int64
+	HasDirty bool
+	LastGrow sim.Time
+}
+
+// DeviceSnapshot is a point-in-time sample of the shared device.
+type DeviceSnapshot struct {
+	BandwidthBps float64 // current moving-window throughput
+	CapacityBps  float64 // spec capacity
+	UtilFraction float64 // BandwidthBps over capacity, device-reported
+	Pending      int     // requests in flight at the device
+}
+
+// CoreSnapshot is a point-in-time sample of the dedicated I/O cores.
+type CoreSnapshot struct {
+	Latencies  []float64 // mean on-core latency L_i per core, seconds
+	AnyTraffic bool      // any core has processed at least one request
+}
+
+// Monitor returns the host's monitoring module, creating it on first use.
+func (h *Host) Monitor() *Monitor {
+	if h.mon == nil {
+		h.mon = &Monitor{h: h, dirty: map[store.DomID]map[string]*DirtyState{}}
+	}
+	return h.mon
+}
+
+// DeviceSnapshot samples the shared device at now.
+func (mo *Monitor) DeviceSnapshot(now sim.Time) DeviceSnapshot {
+	dev := mo.h.dev
+	return DeviceSnapshot{
+		BandwidthBps: dev.BandwidthBps(now),
+		CapacityBps:  dev.CapacityBps(),
+		UtilFraction: dev.UtilFraction(now),
+		Pending:      dev.Pending(),
+	}
+}
+
+// CoreSnapshot samples per-core latencies at now. Latencies is empty when
+// the host runs no dedicated I/O cores (ModeBackend).
+func (mo *Monitor) CoreSnapshot(now sim.Time) CoreSnapshot {
+	cores := mo.h.iocores
+	cs := CoreSnapshot{Latencies: make([]float64, len(cores))}
+	for i, c := range cores {
+		cs.Latencies[i] = c.MeanLatency(now)
+		if c.Processed() > 0 {
+			cs.AnyTraffic = true
+		}
+	}
+	return cs
+}
+
+// IOCongested reports the host-side congestion verdict input: the cgroup
+// or the device itself is overcrowded (Algorithm 2's host check).
+func (mo *Monitor) IOCongested() bool { return mo.h.IOCongested() }
+
+// QueueBacklog reports requests parked in the host cgroup.
+func (mo *Monitor) QueueBacklog() int { return mo.h.cg.Backlog() }
+
+// DevPending reports requests in flight at the device — the cheap subset
+// of DeviceSnapshot for callers that need no bandwidth sampling.
+func (mo *Monitor) DevPending() int { return mo.h.dev.Pending() }
+
+// ObserveDirty records a guest's has_dirty_pages transition and reports
+// the new presence bit (the caller arms its check cadence on true).
+func (mo *Monitor) ObserveDirty(dom store.DomID, disk string, has bool) {
+	byDisk := mo.dirty[dom]
+	if byDisk == nil {
+		byDisk = map[string]*DirtyState{}
+		mo.dirty[dom] = byDisk
+	}
+	ds := byDisk[disk]
+	if ds == nil {
+		ds = &DirtyState{}
+		byDisk[disk] = ds
+	}
+	ds.HasDirty = has
+	if !has {
+		ds.Nr = 0
+	}
+}
+
+// ObserveNrDirty records a guest's published nr_dirty count, stamping
+// LastGrow when the count rose. Counts for unobserved (guest, disk)
+// pairs are ignored — the presence bit always arrives first.
+func (mo *Monitor) ObserveNrDirty(dom store.DomID, disk string, nr int64) {
+	byDisk := mo.dirty[dom]
+	if byDisk == nil {
+		return
+	}
+	if ds := byDisk[disk]; ds != nil {
+		if nr > ds.Nr {
+			ds.LastGrow = mo.h.k.Now()
+		}
+		ds.Nr = nr
+	}
+}
+
+// ForgetGuest drops all dirty state for a removed or demoted guest.
+func (mo *Monitor) ForgetGuest(dom store.DomID) { delete(mo.dirty, dom) }
+
+// AnyDirty reports whether any observed guest disk holds dirty pages.
+func (mo *Monitor) AnyDirty() bool {
+	for _, byDisk := range mo.dirty {
+		for _, ds := range byDisk {
+			if ds.HasDirty {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DirtyDoms lists domains with observed dirty state in ascending order —
+// deterministic iteration for fixed-seed replay.
+func (mo *Monitor) DirtyDoms() []store.DomID {
+	out := make([]store.DomID, 0, len(mo.dirty))
+	for dom := range mo.dirty {
+		out = append(out, dom)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyDisks lists a domain's observed disks in ascending name order.
+func (mo *Monitor) DirtyDisks(dom store.DomID) []string {
+	byDisk := mo.dirty[dom]
+	out := make([]string, 0, len(byDisk))
+	for name := range byDisk {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dirty returns the state for one (guest, disk) pair.
+func (mo *Monitor) Dirty(dom store.DomID, disk string) (DirtyState, bool) {
+	if ds := mo.dirty[dom][disk]; ds != nil {
+		return *ds, true
+	}
+	return DirtyState{}, false
+}

@@ -202,6 +202,66 @@ type Platform struct {
 	// Faults is the fault-injection engine (nil unless the platform was
 	// built WithFaults and the spec is non-empty).
 	Faults *fault.Injector
+
+	// controllers are the system's policy controllers in installation
+	// order; Enable and Disable dispatch the guest lifecycle to each.
+	controllers []core.Controller
+}
+
+// systemSpec declares how one System assembles: how it forces the host
+// I/O topology, and which policy controllers it installs. Adding a
+// system (or a fifth policy) means adding an entry here — nothing else
+// in the platform switches on the system identity.
+type systemSpec struct {
+	// configure forces Mode/RouteBySocket on the host config.
+	configure func(cfg *hypervisor.Config, pol core.Policies)
+	// install builds the system's controllers against the platform's
+	// host and registers them (may be nil for Baseline).
+	install func(p *Platform, pol core.Policies, o *options, rng *stats.Stream)
+}
+
+// modeBackend is the default host topology: the shared paravirtual
+// backend path, no dedicated polling cores.
+func modeBackend(cfg *hypervisor.Config, _ core.Policies) { cfg.Mode = hypervisor.ModeBackend }
+
+var systemSpecs = map[System]systemSpec{
+	SystemBaseline: {configure: modeBackend},
+	SystemSDC: {
+		configure: func(cfg *hypervisor.Config, _ core.Policies) {
+			cfg.Mode = hypervisor.ModeDedicated
+			cfg.RouteBySocket = false
+		},
+		install: func(p *Platform, _ core.Policies, _ *options, _ *stats.Stream) {
+			p.SDC = baselines.NewSDC(p.Host)
+			p.controllers = append(p.controllers, p.SDC)
+		},
+	},
+	SystemDIF: {
+		configure: modeBackend,
+		install: func(p *Platform, _ core.Policies, _ *options, _ *stats.Stream) {
+			p.DIF = baselines.NewDIF(p.Host)
+			p.controllers = append(p.controllers, p.DIF)
+		},
+	},
+	SystemIOrchestra: {
+		configure: func(cfg *hypervisor.Config, pol core.Policies) {
+			// Dedicated polling cores belong to the co-scheduling
+			// function; single-policy ablations (flush-only,
+			// congestion-only) run on the standard paravirtual path so
+			// platforms stay comparable.
+			if pol.Cosched {
+				cfg.Mode = hypervisor.ModeDedicated
+				cfg.RouteBySocket = true
+			} else {
+				cfg.Mode = hypervisor.ModeBackend
+			}
+		},
+		install: func(p *Platform, pol core.Policies, o *options, rng *stats.Stream) {
+			p.Manager = core.NewManager(p.Host, pol, o.managerCfg, rng.Fork("mgr"))
+			p.Manager.SetFaults(p.Faults)
+			p.controllers = append(p.controllers, p.Manager)
+		},
+	},
 }
 
 // NewPlatform builds a fresh kernel and host configured for the system.
@@ -221,23 +281,11 @@ func NewPlatform(sys System, seed uint64, opts ...Option) *Platform {
 	if o.havePol {
 		pol = o.policies
 	}
-	switch sys {
-	case SystemSDC:
-		cfg.Mode = hypervisor.ModeDedicated
-		cfg.RouteBySocket = false
-	case SystemIOrchestra:
-		// Dedicated polling cores belong to the co-scheduling function;
-		// single-policy ablations (flush-only, congestion-only) run on
-		// the standard paravirtual path so platforms stay comparable.
-		if pol.Cosched {
-			cfg.Mode = hypervisor.ModeDedicated
-			cfg.RouteBySocket = true
-		} else {
-			cfg.Mode = hypervisor.ModeBackend
-		}
-	default:
-		cfg.Mode = hypervisor.ModeBackend
+	spec, ok := systemSpecs[sys]
+	if !ok {
+		spec = systemSpecs[SystemBaseline]
 	}
+	spec.configure(&cfg, pol)
 	var inj *fault.Injector
 	if o.haveFaults && !o.faults.Empty() {
 		inj = fault.NewInjector(k, o.faults, rng.Fork("faults"))
@@ -271,13 +319,8 @@ func NewPlatform(sys System, seed uint64, opts ...Option) *Platform {
 		inj.SetRecorder(h.Recorder())
 		h.Store().SetFaultHooks(inj.StoreHooks())
 	}
-	switch sys {
-	case SystemIOrchestra:
-		p.Manager = core.NewManager(h, pol, o.managerCfg, rng.Fork("mgr"))
-	case SystemDIF:
-		p.DIF = baselines.NewDIF(h)
-	case SystemSDC:
-		p.SDC = baselines.NewSDC(h)
+	if spec.install != nil {
+		spec.install(p, pol, &o, rng)
 	}
 	return p
 }
@@ -295,36 +338,27 @@ func (p *Platform) NewVM(vcpus, memGB int, disks ...guest.DiskConfig) *hyperviso
 
 // Enable installs the system's per-VM hooks on an existing runtime (used
 // by the arrival experiments, which create guests through the cluster
-// engine).
+// engine): every installed controller attaches the guest. Fault gating —
+// an uncooperative guest whose driver never registers — lives inside the
+// manager's Attach, not here.
 func (p *Platform) Enable(rt *hypervisor.GuestRuntime) {
-	switch p.Sys {
-	case SystemIOrchestra:
-		// An uncooperative guest never registers a driver: the manager
-		// sees no store traffic from it at all, the exact shape a legacy
-		// image presents. Its I/O still flows through the shared backend.
-		if p.Faults != nil && p.Faults.Uncooperative(rt.G.ID()) {
-			return
-		}
-		drv := p.Manager.EnableGuest(rt)
-		if p.Faults != nil {
-			drv.SetSyncFault(p.Faults.SyncFault(rt.G.ID()))
-			p.Faults.ScheduleCrash(rt.G.ID(), drv)
-		}
-	case SystemDIF:
-		p.DIF.EnableGuest(rt)
-	case SystemSDC:
-		p.SDC.EnableGuest(rt)
+	for _, c := range p.controllers {
+		c.Attach(rt)
 	}
 }
 
 // Disable tears down the system's per-VM hooks (used by the arrival
-// experiments when the cluster engine removes a guest). Baseline, DIF and
-// SDC install nothing that outlives the guest, so only IOrchestra acts.
+// experiments when the cluster engine removes a guest): every installed
+// controller forgets the guest.
 func (p *Platform) Disable(rt *hypervisor.GuestRuntime) {
-	if p.Sys == SystemIOrchestra {
-		p.Manager.DisableGuest(rt.G.ID())
+	for _, c := range p.controllers {
+		c.Detach(rt.G.ID())
 	}
 }
+
+// Controllers lists the installed policy controllers in installation
+// order (empty for Baseline).
+func (p *Platform) Controllers() []core.Controller { return p.controllers }
 
 // RunFor advances the simulation by d.
 func (p *Platform) RunFor(d sim.Duration) {
