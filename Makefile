@@ -1,7 +1,7 @@
 # Standard verification pipeline: `make check` is what CI runs.
 GO ?= go
 
-.PHONY: all build fmt vet test race bench check chaos experiments clean
+.PHONY: all build fmt vet lint test race bench check chaos experiments clean
 
 all: check
 
@@ -15,6 +15,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Project-invariant static analysis (internal/analysis, docs/LINTING.md):
+# determinism, store key schema, watch-handler re-entrancy, the Monitor
+# read contract, the trace/counter mirror, and deprecation hygiene.
+lint:
+	$(GO) run ./cmd/iorchestra-vet ./...
+
 test:
 	$(GO) test ./...
 
@@ -26,7 +32,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkManagerTick -benchtime 1x ./internal/core/
 
-check: fmt vet build test race
+check: fmt vet lint build test race
 
 # Fault-injection smoke: sweeps uncooperative-guest fractions and
 # control-plane fault rates at quick scale (docs/FAULTS.md).

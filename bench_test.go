@@ -19,6 +19,7 @@ import (
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/pagecache"
 	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
 	"iorchestra/internal/workload"
 )
 
@@ -338,7 +339,7 @@ func BenchmarkStoreWatchDispatch(b *testing.B) {
 	vm := p.NewVM(1, 1)
 	st := p.Host.Store()
 	fired := 0
-	st.Watch(0, "/local/domain", func(path, value string) { fired++ })
+	st.Watch(0, store.Root, func(path, value string) { fired++ })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vm.Dom.WriteInt("bench/key", int64(i))

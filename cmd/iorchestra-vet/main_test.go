@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The e2e tests build the real binary and run it against the tiny
+// module under testdata/vetfixture — a package with deliberate
+// violations next to a clean one — asserting exit statuses, diagnostic
+// text, and the -scope/-run selection behavior.
+
+var toolPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "iorchestra-vet")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	toolPath = filepath.Join(dir, "iorchestra-vet")
+	if out, err := exec.Command("go", "build", "-o", toolPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building iorchestra-vet: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool runs the built binary with the fixture module as its working
+// directory and returns stdout, stderr, and the exit status.
+func runTool(t *testing.T, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(toolPath, args...)
+	cmd.Dir = filepath.Join("testdata", "vetfixture")
+	var so, se strings.Builder
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running iorchestra-vet %v: %v", args, err)
+	}
+	return so.String(), se.String(), exit
+}
+
+func TestDirtyPackageAllScope(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "-scope=all", "./dirty")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	for _, needle := range []string{
+		"dirty/dirty.go:",
+		"[storekeys]",
+		"raw store path literal",
+		"[determinism]",
+		"time.Now reads the wall clock",
+	} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("stdout missing %q:\n%s", needle, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr = %q, want finding count 2", stderr)
+	}
+}
+
+// Under the default auto scope the fixture module is outside the
+// determinism pass's package list, so only storekeys (which applies
+// everywhere) fires.
+func TestDirtyPackageAutoScope(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "./dirty")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[storekeys]") {
+		t.Errorf("stdout missing storekeys finding:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "[determinism]") {
+		t.Errorf("determinism fired outside its scope:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr = %q, want finding count 1", stderr)
+	}
+}
+
+func TestRunSelectsPasses(t *testing.T) {
+	stdout, _, exit := runTool(t, "-scope=all", "-run", "determinism", "./dirty")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", exit, stdout)
+	}
+	if !strings.Contains(stdout, "[determinism]") || strings.Contains(stdout, "[storekeys]") {
+		t.Errorf("-run determinism should report only determinism findings:\n%s", stdout)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "-scope=all", "./clean")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	if stdout != "" || stderr != "" {
+		t.Errorf("clean run should be silent, got stdout %q stderr %q", stdout, stderr)
+	}
+}
+
+func TestUnknownPassExitsTwo(t *testing.T) {
+	_, stderr, exit := runTool(t, "-run", "nosuchpass", "./clean")
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "unknown pass") {
+		t.Errorf("stderr = %q, want unknown-pass error", stderr)
+	}
+}
+
+func TestListDescribesSuite(t *testing.T) {
+	stdout, _, exit := runTool(t, "-list")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0", exit)
+	}
+	for _, name := range []string{"determinism", "storekeys", "watchsafety", "monitoronly", "tracecounter", "nodeprecated"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing pass %q:\n%s", name, stdout)
+		}
+	}
+}

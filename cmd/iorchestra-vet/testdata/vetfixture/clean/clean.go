@@ -1,0 +1,5 @@
+// Package clean gives iorchestra-vet nothing to report.
+package clean
+
+// Answer is trivially deterministic.
+func Answer() int { return 42 }

@@ -1,0 +1,12 @@
+// Package dirty deliberately violates iorchestra-vet rules; the e2e
+// test asserts the tool reports each one with the right pass.
+package dirty
+
+import "time"
+
+// Path is a raw store key literal (storekeys fires in any module).
+var Path = "/local/domain/9/oops"
+
+// Stamp reads the wall clock (determinism fires under -scope=all; this
+// module is outside the pass's auto scope).
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,3 @@
+module vetfixture
+
+go 1.22

@@ -49,7 +49,7 @@ func run(sys iorchestra.System, vms int) (mbps float64, notices uint64) {
 		total += g.WrittenBytes()
 	}
 	if p.Manager != nil {
-		notices = p.Manager.FlushNotices()
+		notices = p.Manager.Counters().FlushNotices
 	}
 	return total / dur.Seconds() / 1e6, notices
 }

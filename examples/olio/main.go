@@ -78,7 +78,7 @@ func main() {
 		fmt.Println(fmtHist("YCSB2 (read-mostly)", y2.Rec.Latency, false))
 		if p.Manager != nil {
 			fmt.Printf("  policy activity: %d flush notices, %d congestion vetoes, %d co-sched runs\n",
-				p.Manager.FlushNotices(), p.Manager.Vetoes(), p.Manager.CoschedRuns())
+				p.Manager.Counters().FlushNotices, p.Manager.Counters().Vetoes, p.Manager.Counters().CoschedRuns)
 		}
 	}
 }

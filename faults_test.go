@@ -94,17 +94,17 @@ func TestInjectedTimeoutsAreTypedTraceEvents(t *testing.T) {
 	}
 	requireKinds(t, p.Trace, trace.KindFaultInject, trace.KindFlushTimeout,
 		trace.KindFallbackEnter)
-	if p.Manager.FlushTimeouts() == 0 || p.Manager.Fallbacks() == 0 {
+	if p.Manager.Counters().FlushTimeouts == 0 || p.Manager.Counters().Fallbacks == 0 {
 		t.Fatalf("degradation counters empty: timeouts=%d fallbacks=%d",
-			p.Manager.FlushTimeouts(), p.Manager.Fallbacks())
+			p.Manager.Counters().FlushTimeouts, p.Manager.Counters().Fallbacks)
 	}
 	// Counters and trace agree: every timeout/fallback the manager counted
 	// is a typed event in the stream.
-	if got := p.Trace.Count(trace.KindFlushTimeout); got != p.Manager.FlushTimeouts() {
-		t.Fatalf("flush.timeout events %d != counter %d", got, p.Manager.FlushTimeouts())
+	if got := p.Trace.Count(trace.KindFlushTimeout); got != p.Manager.Counters().FlushTimeouts {
+		t.Fatalf("flush.timeout events %d != counter %d", got, p.Manager.Counters().FlushTimeouts)
 	}
-	if got := p.Trace.Count(trace.KindFallbackEnter); got != p.Manager.Fallbacks() {
-		t.Fatalf("fallback.enter events %d != counter %d", got, p.Manager.Fallbacks())
+	if got := p.Trace.Count(trace.KindFallbackEnter); got != p.Manager.Counters().Fallbacks {
+		t.Fatalf("fallback.enter events %d != counter %d", got, p.Manager.Counters().Fallbacks)
 	}
 	// NDJSON round trip preserves the typed events.
 	var buf bytes.Buffer
@@ -141,9 +141,9 @@ func TestCrashRestartRoundTripViaSpec(t *testing.T) {
 	if p.Faults.Count("crash") != 1 || p.Faults.Count("restart") != 1 {
 		t.Fatalf("crash/restart schedule wrong: %v", p.Faults.Counts())
 	}
-	if p.Manager.Fallbacks() == 0 || p.Manager.Restores() == 0 {
+	if p.Manager.Counters().Fallbacks == 0 || p.Manager.Counters().Restores == 0 {
 		t.Fatalf("fallbacks=%d restores=%d, want both > 0",
-			p.Manager.Fallbacks(), p.Manager.Restores())
+			p.Manager.Counters().Fallbacks, p.Manager.Counters().Restores)
 	}
 	requireKinds(t, p.Trace, trace.KindHeartbeatMiss,
 		trace.KindFallbackEnter, trace.KindFallbackExit)

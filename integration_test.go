@@ -59,7 +59,7 @@ func TestIntegrationCongestionVetoUnderRealWorkload(t *testing.T) {
 	ms := workload.NewMultiStream(p.Kernel, rt.G, rt.G.Disks()[0], 6, 64<<20, 1<<20, p.Rng.Fork("ms"))
 	ms.Start()
 	p.RunFor(5 * Second)
-	if p.Manager.Vetoes() == 0 {
+	if p.Manager.Counters().Vetoes == 0 {
 		t.Fatal("no vetoes despite queue pressure on an idle array")
 	}
 	drv := p.Manager.Driver(rt.G.ID())

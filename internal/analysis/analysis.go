@@ -1,0 +1,216 @@
+// Package analysis is iorchestra-vet: a suite of static-analysis passes
+// that mechanically enforce the invariants this reproduction's
+// correctness story rests on — deterministic simulation (golden-trace
+// parity), the documented store key schema, watch-handler re-entrancy
+// discipline, the Controller measurement contract, and the 1:1
+// trace-event/counter mirror. docs/LINTING.md is the normative rule
+// reference; each Analyzer's Doc is the short form.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is self-contained: packages are
+// parsed and type-checked with the standard library only (go/parser,
+// go/types), so the tool builds with zero dependencies beyond the Go
+// toolchain. cmd/iorchestra-vet is the multichecker driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics, -run selections and
+	// //lint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph rule statement shown by -list.
+	Doc string
+	// AppliesTo reports whether the pass runs on a package; nil means
+	// every package. The driver consults it under -scope=auto; tests and
+	// -scope=all run passes regardless.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// pkgName reports the receiver-qualified selector name for diagnostics.
+func pkgName(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+// RunAnalyzers applies every analyzer to every package it matches,
+// honors //lint:allow escape hatches, and returns the surviving
+// diagnostics sorted by position. scopeAll disables AppliesTo gating.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, scopeAll bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, allowDiags := collectAllows(pkg)
+		diags = append(diags, allowDiags...)
+		for _, a := range analyzers {
+			if !scopeAll && a.AppliesTo != nil && !a.AppliesTo(strings.TrimSuffix(pkg.Path, "_test")) {
+				continue
+			}
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &found,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+			for _, d := range found {
+				if !allows.suppresses(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowTable indexes //lint:allow directives by (file, line, pass).
+type allowTable map[string]map[int]map[string]bool
+
+func (t allowTable) suppresses(pass string, pos token.Position) bool {
+	lines := t[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line (trailing comment)
+	// and on the line directly below it (directive above the statement).
+	return lines[pos.Line][pass] || lines[pos.Line-1][pass]
+}
+
+const allowPrefix = "//lint:allow "
+
+// collectAllows parses every //lint:allow directive in the package. A
+// directive must carry a justification after " -- "; one without it
+// suppresses nothing and is itself reported, so the escape hatch can
+// never be used silently.
+func collectAllows(pkg *Package) (allowTable, []Diagnostic) {
+	table := allowTable{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				names, reason, ok := strings.Cut(body, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" || strings.TrimSpace(names) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "lintallow",
+						Pos:      pos,
+						Message:  "lint:allow directive needs a justification: //lint:allow <pass>[,<pass>] -- <why this site is exempt>",
+					})
+					continue
+				}
+				lines := table[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					table[pos.Filename] = lines
+				}
+				passes := lines[pos.Line]
+				if passes == nil {
+					passes = map[string]bool{}
+					lines[pos.Line] = passes
+				}
+				for _, n := range strings.Split(names, ",") {
+					passes[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return table, diags
+}
+
+// walkFiles runs fn over every node of every file in the pass.
+func walkFiles(p *Pass, fn func(file *ast.File, n ast.Node) bool) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return fn(file, n)
+		})
+	}
+}
+
+// importedPkg resolves a selector base identifier to the import path of
+// the package it names, or "" when it is not a package reference.
+func importedPkg(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// recvTypeString resolves the receiver type of a selector call like
+// x.M(...) to its full type string (e.g. "*iorchestra/internal/store.Store"),
+// or "" when no type information is available.
+func recvTypeString(info *types.Info, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok {
+		return types.TypeString(s.Recv(), nil)
+	}
+	// Not a method selection (package qualifier or struct field access).
+	return ""
+}

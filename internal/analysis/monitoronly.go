@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Host accessors that expose raw measurement state. The Controller
+// contract (docs/ARCHITECTURE.md) routes every policy read through
+// hypervisor.Monitor's point-in-time snapshots so the read side of all
+// policies stays uniform; actuation surfaces (Host.IOCores quanta,
+// Host.SetClassWeight, the store) and wiring accessors (Kernel, Store,
+// Monitor, Recorder, Guests) remain on Host.
+var forbiddenHostReads = map[string]string{
+	"Device":             "Monitor.DeviceSnapshot / Monitor.CapacityBps",
+	"Cgroup":             "Monitor.QueueBacklog for reads, Host.SetClassWeight for actuation",
+	"Tracer":             "Monitor snapshots",
+	"PCore":              "Monitor snapshots",
+	"CPUUtilization":     "Monitor snapshots",
+	"BackendUtilization": "Monitor snapshots",
+	"IOCongested":        "Monitor.IOCongested",
+}
+
+const hostType = "*iorchestra/internal/hypervisor.Host"
+
+// MonitorOnly enforces the PR 3 Controller contract in the policy
+// packages: measurements flow through hypervisor.Monitor, never through
+// Host's raw subsystem accessors.
+var MonitorOnly = &Analyzer{
+	Name: "monitoronly",
+	Doc: "policy controllers (internal/core, internal/baselines) must read " +
+		"measurements through hypervisor.Monitor snapshots, not Host's raw " +
+		"accessors (Device, Cgroup, Tracer, PCore, CPUUtilization, " +
+		"BackendUtilization, IOCongested)",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "iorchestra/internal/core" || pkgPath == "iorchestra/internal/baselines"
+	},
+	Run: runMonitorOnly,
+}
+
+func runMonitorOnly(p *Pass) error {
+	walkFiles(p, func(_ *ast.File, n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		instead, bad := forbiddenHostReads[sel.Sel.Name]
+		if !bad || recvTypeString(p.TypesInfo, sel) != hostType {
+			return true
+		}
+		p.Reportf(sel.Pos(),
+			"controller touches Host.%s directly; the Controller contract reads measurements only via %s (docs/ARCHITECTURE.md)",
+			sel.Sel.Name, instead)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeprecated keeps the Counters() migration final: PR 3 deprecated the
+// per-counter getters on Manager and this PR deleted them. The pass
+// fails any reintroduction — a Manager method named after a Counters
+// field, or a Manager method parked behind a "Deprecated:" marker
+// instead of being removed.
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc: "Manager must not regrow per-counter getter methods (use " +
+		"Counters() snapshots) nor keep methods marked Deprecated: " +
+		"deprecation cycles end with deletion, not accretion",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "iorchestra/internal/core"
+	},
+	Run: runNoDeprecated,
+}
+
+func runNoDeprecated(p *Pass) error {
+	counterFields := countersFields(p.Pkg)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !isManagerRecv(fd) {
+				continue
+			}
+			if counterFields[fd.Name.Name] {
+				p.Reportf(fd.Name.Pos(),
+					"Manager.%s shadows the Counters.%s field; per-counter getters were removed — callers take a Counters() snapshot",
+					fd.Name.Name, fd.Name.Name)
+			}
+			if fd.Doc != nil && hasDeprecatedMarker(fd.Doc.Text()) {
+				p.Reportf(fd.Name.Pos(),
+					"Manager.%s carries a Deprecated: marker; delete retired Manager methods instead of keeping them for migration",
+					fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// countersFields lists the exported field names of the package's
+// Counters struct (empty map when the package has none).
+func countersFields(pkg *types.Package) map[string]bool {
+	out := map[string]bool{}
+	if pkg == nil {
+		return out
+	}
+	obj := pkg.Scope().Lookup("Counters")
+	if obj == nil {
+		return out
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		out[st.Field(i).Name()] = true
+	}
+	return out
+}
+
+// isManagerRecv reports whether fd's receiver is Manager or *Manager.
+func isManagerRecv(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Manager"
+}
+
+// hasDeprecatedMarker reports whether a doc comment contains a godoc
+// deprecation paragraph.
+func hasDeprecatedMarker(doc string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

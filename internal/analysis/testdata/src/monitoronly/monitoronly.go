@@ -1,0 +1,25 @@
+// Package monitoronlyfix is an iorchestra-vet test fixture: policy code
+// reading measurements straight off hypervisor.Host is flagged; the
+// Monitor surface and Host's wiring accessors stay legal.
+package monitoronlyfix
+
+import "iorchestra/internal/hypervisor"
+
+type policy struct {
+	h   *hypervisor.Host
+	mon *hypervisor.Monitor
+}
+
+func (p *policy) tick() {
+	// Monitor reads are the sanctioned measurement surface.
+	_ = p.mon.IOCongested()
+	_ = p.mon.CapacityBps()
+
+	_ = p.h.IOCongested() // want "touches Host.IOCongested directly"
+	dev := p.h.Device()   // want "touches Host.Device directly"
+	_ = dev.CapacityBps()
+
+	// Wiring accessors remain on Host.
+	_ = p.h.Kernel()
+	_ = p.h.Monitor()
+}

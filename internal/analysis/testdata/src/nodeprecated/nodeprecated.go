@@ -1,0 +1,31 @@
+// Package nodeprecatedfix is an iorchestra-vet test fixture: Manager
+// must not regrow per-counter getters or keep Deprecated: methods.
+package nodeprecatedfix
+
+// Counters mirrors the management module's snapshot struct.
+type Counters struct {
+	Vetoes   uint64
+	Releases uint64
+}
+
+// Manager mimics internal/core's Manager surface.
+type Manager struct {
+	vetoes   uint64
+	releases uint64
+}
+
+// Counters returns the snapshot: the one sanctioned counter read.
+func (m *Manager) Counters() Counters {
+	return Counters{Vetoes: m.vetoes, Releases: m.releases}
+}
+
+// Vetoes regrows a per-counter getter.
+func (m *Manager) Vetoes() uint64 { return m.vetoes } // want "shadows the Counters.Vetoes field"
+
+// Releases is parked behind a deprecation marker instead of deleted.
+//
+// Deprecated: use Counters().Releases.
+func (m *Manager) Releases() uint64 { return m.releases } // want "shadows the Counters.Releases field" "carries a Deprecated: marker"
+
+// Name is an ordinary Manager method and stays legal.
+func (m *Manager) Name() string { return "manager" }

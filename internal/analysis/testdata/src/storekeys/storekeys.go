@@ -1,0 +1,27 @@
+// Package storekeysfix is an iorchestra-vet test fixture for the
+// storekeys pass, including both shapes of the //lint:allow escape
+// hatch (justified and rejected).
+package storekeysfix
+
+import "iorchestra/internal/store"
+
+// Paths built through the schema owners are clean.
+var (
+	good     = store.DiskPath(1, "xvda", "nr_dirty")
+	alsoGood = store.DomainPath(2) + "/heartbeat"
+)
+
+// bad spells the schema by hand.
+var bad = "/local/domain/1/virt-dev/xvda/nr_dirty" // want "raw store path literal"
+
+// concatenated prefixes are raw literals too.
+func prefix(suffix string) string {
+	return "/local/domain/" + suffix // want "raw store path literal"
+}
+
+// allowed is suppressed by a justified escape hatch.
+var allowed = "/local/domain/3/x" //lint:allow storekeys -- fixture: exercising the documented escape hatch
+
+// badAllow's directive has no justification: the directive itself is
+// reported and the finding is not suppressed.
+var badAllow = "/local/domain/4/x" //lint:allow storekeys // want "needs a justification" "raw store path literal"

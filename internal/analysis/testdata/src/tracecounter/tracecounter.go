@@ -1,0 +1,40 @@
+// Package tracecounterfix is an iorchestra-vet test fixture for the 1:1
+// degradation trace-event / counter mirror.
+package tracecounterfix
+
+import "iorchestra/internal/trace"
+
+// ctl mimics the management module's counter fields.
+type ctl struct {
+	rec             *trace.Recorder
+	heartbeatMisses uint64
+	fallbacks       uint64
+	restores        uint64
+}
+
+// good keeps the mirror: emission and increment in the same function.
+func (c *ctl) good(dom int) {
+	c.heartbeatMisses++
+	c.rec.Record(trace.Record{Kind: trace.KindHeartbeatMiss, Dom: dom})
+}
+
+// missingCounter emits without bumping the mirrored counter.
+func (c *ctl) missingCounter(dom int) {
+	c.rec.Record(trace.Record{Kind: trace.KindFallbackEnter, Dom: dom}) // want "KindFallbackEnter emitted without incrementing the mirrored fallbacks counter"
+}
+
+// missingTrace bumps without emitting the mirrored event.
+func (c *ctl) missingTrace() {
+	c.restores++ // want "restores incremented without emitting the mirrored trace.KindFallbackExit"
+}
+
+// passedKind hands the kind to an emitting helper: a use counts as an
+// emission, so only the counter side is checked here — and it holds.
+func (c *ctl) passedKind() {
+	c.fallbacks++
+	c.emit(trace.KindFallbackEnter)
+}
+
+func (c *ctl) emit(k trace.Kind) {
+	c.rec.Record(trace.Record{Kind: k})
+}

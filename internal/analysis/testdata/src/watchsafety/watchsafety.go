@@ -1,0 +1,39 @@
+// Package watchsafetyfix is an iorchestra-vet test fixture: watch
+// callbacks that re-enter the store synchronously are flagged; the
+// kernel-deferred and routed shapes are the sanctioned alternatives.
+package watchsafetyfix
+
+import (
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+// reentrant calls store accessors synchronously inside the callback.
+func reentrant(st *store.Store) {
+	st.Watch(store.Dom0, store.Root, func(path, value string) {
+		st.WriteBool(store.Dom0, path, true) // want "st.WriteBool re-enters the store synchronously"
+		_, _ = st.Read(store.Dom0, path)     // want "st.Read re-enters the store synchronously"
+	})
+}
+
+// deferred is the sanctioned shape: the nested closure handed to the
+// kernel runs after notification delivery unwinds.
+func deferred(k *sim.Kernel, st *store.Store) {
+	st.Watch(store.Dom0, store.Root, func(path, value string) {
+		k.After(sim.Millisecond, func() {
+			st.Write(store.Dom0, path, "1")
+		})
+	})
+}
+
+// routed hands the event to a named method; named handlers are audited
+// by review, not by this pass.
+func routed(st *store.Store) {
+	st.Watch(store.Dom0, store.Root, func(path, value string) {
+		handle(st, path)
+	})
+}
+
+func handle(st *store.Store, path string) {
+	st.Write(store.Dom0, path, "0")
+}

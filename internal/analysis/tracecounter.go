@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The PR 2 degradation contract: every typed degradation trace event is
+// mirrored 1:1 by a counter, so operators can reconcile NDJSON traces
+// against Manager.Counters() even when the ring has evicted events.
+// Keys are the trace.Kind constant names; values the counter fields the
+// management module bumps.
+var degradationKinds = map[string]string{
+	"KindHeartbeatMiss":  "heartbeatMisses",
+	"KindFallbackEnter":  "fallbacks",
+	"KindFallbackExit":   "restores",
+	"KindFlushTimeout":   "timeouts",
+	"KindReleaseRetry":   "releaseRetries",
+	"KindReleaseTimeout": "releaseTimeouts",
+	"KindHoldTimeout":    "holdTimeouts",
+}
+
+// degradationCounters is the reverse index.
+var degradationCounters = func() map[string]string {
+	m := make(map[string]string, len(degradationKinds))
+	for k, c := range degradationKinds {
+		m[c] = k
+	}
+	return m
+}()
+
+// TraceCounter checks both directions of the mirror within each
+// function of the management module: a degradation trace.Kind used in a
+// function requires the mapped counter to be incremented there, and a
+// counter increment requires the kind to be emitted (directly or by
+// passing the kind to an emitting helper) in the same function.
+var TraceCounter = &Analyzer{
+	Name: "tracecounter",
+	Doc: "every degradation trace-event emission site must increment its " +
+		"mirrored counter in the same function, and vice versa (PR 2 1:1 " +
+		"trace/counter contract, docs/FAULTS.md)",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "iorchestra/internal/core"
+	},
+	Run: runTraceCounter,
+}
+
+func runTraceCounter(p *Pass) error {
+	for _, f := range p.Files {
+		// The contract binds the management module itself, not tests
+		// asserting over it.
+		if pos := p.Fset.Position(f.Pos()); strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMirror(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkMirror(p *Pass, fd *ast.FuncDecl) {
+	kindUses := map[string]ast.Node{}    // kind const name -> first use
+	counterIncs := map[string]ast.Node{} // counter field -> first bump
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if importedPkg(p.TypesInfo, n) == "iorchestra/internal/trace" {
+				if _, ok := degradationKinds[n.Sel.Name]; ok && kindUses[n.Sel.Name] == nil {
+					kindUses[n.Sel.Name] = n
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				if name, ok := bumpedField(n.X); ok && counterIncs[name] == nil {
+					counterIncs[name] = n
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if name, ok := bumpedField(n.Lhs[0]); ok && counterIncs[name] == nil {
+					counterIncs[name] = n
+				}
+			}
+		}
+		return true
+	})
+	for kind, node := range kindUses {
+		counter := degradationKinds[kind]
+		if counterIncs[counter] == nil {
+			p.Reportf(node.Pos(),
+				"trace.%s emitted without incrementing the mirrored %s counter in the same function (1:1 trace/counter contract)",
+				kind, counter)
+		}
+	}
+	for counter, node := range counterIncs {
+		kind := degradationCounters[counter]
+		if kindUses[kind] == nil {
+			p.Reportf(node.Pos(),
+				"%s incremented without emitting the mirrored trace.%s in the same function (1:1 trace/counter contract)",
+				counter, kind)
+		}
+	}
+}
+
+// bumpedField extracts the field name from expressions like cc.holdTimeouts.
+func bumpedField(e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, tracked := degradationCounters[sel.Sel.Name]; !tracked {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Types whose Watch callbacks are delivered by the store's notification
+// machinery, and whose accessors therefore must not be re-entered
+// synchronously from a callback literal.
+var watchRecvTypes = map[string]bool{
+	"*iorchestra/internal/store.Store": true,
+	"*iorchestra/internal/bus.Domain":  true,
+}
+
+// Store accessors that re-enter the store when called from a callback.
+var storeAccessors = map[string]bool{
+	"Read": true, "Write": true,
+	"ReadBool": true, "WriteBool": true,
+	"ReadInt": true, "WriteInt": true,
+	"ReadFloat": true, "WriteFloat": true,
+	"Watch": true, "Unwatch": true,
+}
+
+// WatchSafety enforces the PR 2 watch-handler audit convention: a
+// function literal passed to Store.Watch / bus.Domain.Watch is a
+// notification trampoline — it may parse the event and route it, but
+// must not synchronously call back into the store. Re-entry belongs in
+// a kernel callback (k.After) or an audited named handler, where the
+// recursion through fireWatches is bounded and reviewable.
+var WatchSafety = &Analyzer{
+	Name: "watchsafety",
+	Doc: "function literals passed to Store.Watch/Domain.Watch must not call " +
+		"store accessors synchronously (re-entrancy hazard, PR 2 watch-handler " +
+		"audit); defer through sim.Kernel or route to an audited method",
+	Run: runWatchSafety,
+}
+
+func runWatchSafety(p *Pass) error {
+	walkFiles(p, func(_ *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Watch" {
+			return true
+		}
+		if !watchRecvTypes[recvTypeString(p.TypesInfo, sel)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				checkWatchLiteral(p, lit)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkWatchLiteral flags synchronous store accessor calls lexically
+// inside the callback. Nested function literals are skipped: a closure
+// handed to k.After (or stored for later) runs outside the notification
+// delivery and is the sanctioned way to touch the store again.
+func checkWatchLiteral(p *Pass, outer *ast.FuncLit) {
+	ast.Inspect(outer.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != outer {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !storeAccessors[sel.Sel.Name] {
+			return true
+		}
+		if !watchRecvTypes[recvTypeString(p.TypesInfo, sel)] {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"%s re-enters the store synchronously inside a watch callback; defer it through sim.Kernel (k.After) or route to an audited handler method",
+			pkgName(sel))
+		return true
+	})
+}

@@ -30,8 +30,9 @@ var (
 // all dirty VMs flush at once, which recreates the thundering-herd
 // behaviour IOrchestra avoids.
 type DIF struct {
-	h *hypervisor.Host
-	k *sim.Kernel
+	h   *hypervisor.Host
+	k   *sim.Kernel
+	mon *hypervisor.Monitor
 
 	// IdleFrac: the disk counts as idle below this bandwidth fraction.
 	IdleFrac float64
@@ -56,6 +57,7 @@ func NewDIF(h *hypervisor.Host) *DIF {
 	return &DIF{
 		h:             h,
 		k:             h.Kernel(),
+		mon:           h.Monitor(),
 		IdleFrac:      0.1,
 		CheckInterval: 50 * sim.Millisecond,
 		guests:        map[store.DomID]*difGuest{},
@@ -150,11 +152,12 @@ func (d *DIF) arm() {
 	})
 }
 
-// tick publishes idleness to every guest when the device is quiet.
+// tick publishes idleness to every guest when the device is quiet. Like
+// IOrchestra's own policies, DIF reads the device through the monitoring
+// module's snapshot rather than touching the device directly.
 func (d *DIF) tick() {
-	dev := d.h.Device()
-	now := d.k.Now()
-	if dev.BandwidthBps(now) >= d.IdleFrac*dev.CapacityBps() {
+	dev := d.mon.DeviceSnapshot(d.k.Now())
+	if dev.BandwidthBps >= d.IdleFrac*dev.CapacityBps {
 		return
 	}
 	// Ascending-domain order keeps the signal writes (and the decision

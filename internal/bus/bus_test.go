@@ -53,7 +53,7 @@ func TestDomainScopedReadWrite(t *testing.T) {
 		t.Fatalf("Read = %q, %v", v, err)
 	}
 	// Raw store confirms the absolute path.
-	if v, err := b.Store().Read(store.Dom0, "/local/domain/2/virt-dev/xvda/nr"); err != nil || v != "10" {
+	if v, err := b.Store().Read(store.Dom0, store.DiskPath(2, "xvda", "nr")); err != nil || v != "10" {
 		t.Fatalf("absolute Read = %q, %v", v, err)
 	}
 }

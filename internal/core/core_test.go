@@ -38,7 +38,7 @@ func TestFlushPolicyDrainsDirtyPagesDuringIdle(t *testing.T) {
 	if d.Cache.DirtyPages() != 0 {
 		t.Fatalf("dirty pages after idle period: %d", d.Cache.DirtyPages())
 	}
-	if m.FlushNotices() == 0 {
+	if m.Counters().FlushNotices == 0 {
 		t.Fatal("management module never issued flush_now")
 	}
 	if drv.Flushes() == 0 {
@@ -99,8 +99,8 @@ func TestCongestionVetoReleasesQueue(t *testing.T) {
 		}
 	})
 	k.RunUntil(2 * sim.Second)
-	if m.Vetoes() == 0 {
-		t.Fatalf("manager never vetoed a false congestion trigger (confirms=%d)", m.Confirms())
+	if m.Counters().Vetoes == 0 {
+		t.Fatalf("manager never vetoed a false congestion trigger (confirms=%d)", m.Counters().Confirms)
 	}
 	if drv.Releases() == 0 {
 		t.Fatal("guest driver never released the queue")
@@ -137,10 +137,10 @@ func TestCongestionConfirmAndRelief(t *testing.T) {
 		}
 	})
 	k.RunUntil(30 * sim.Second)
-	if m.Confirms() == 0 {
-		t.Fatalf("manager never confirmed real congestion (vetoes=%d)", m.Vetoes())
+	if m.Counters().Confirms == 0 {
+		t.Fatalf("manager never confirmed real congestion (vetoes=%d)", m.Counters().Vetoes)
 	}
-	if m.Relieves() == 0 {
+	if m.Counters().Relieves == 0 {
 		t.Fatal("held VM never relieved after device drained")
 	}
 	if got := d.Queue.Completed(); got != 80 {
@@ -178,7 +178,7 @@ func TestCoschedPublishesTargetsAndQuanta(t *testing.T) {
 	}
 	k.At(sim.Millisecond, func() { issue(); issue(); issue(); issue() })
 	k.RunUntil(4 * sim.Second)
-	if m.CoschedRuns() == 0 {
+	if m.Counters().CoschedRuns == 0 {
 		t.Fatal("cosched never ran")
 	}
 	// Targets were published for both sockets.
@@ -199,8 +199,8 @@ func TestCoschedPublishesTargetsAndQuanta(t *testing.T) {
 
 func TestManagerCountersStartZero(t *testing.T) {
 	_, _, m := mkPlatform(t, hypervisor.Config{}, All(), 5)
-	if m.FlushNotices() != 0 || m.Vetoes() != 0 || m.Confirms() != 0 ||
-		m.Relieves() != 0 || m.CoschedRuns() != 0 {
+	if m.Counters().FlushNotices != 0 || m.Counters().Vetoes != 0 || m.Counters().Confirms != 0 ||
+		m.Counters().Relieves != 0 || m.Counters().CoschedRuns != 0 {
 		t.Fatal("counters not zeroed")
 	}
 }

@@ -140,7 +140,7 @@ func (cc *coschedController) coschedTick() bool {
 	// Shares: S_SKT = W_SKT / ΣP · S^(VM); equal S^(VM) across enabled
 	// guests unless overridden in the store.
 	nGuests := len(m.drivers)
-	bwMax := m.h.Device().CapacityBps()
+	bwMax := cc.mon.CapacityBps()
 	type coreShare struct{ sum float64 }
 	shares := make([]coreShare, len(cores))
 	for _, dom := range sortedDomIDs(m.drivers) {
@@ -175,7 +175,7 @@ func (cc *coschedController) coschedTick() bool {
 		if w <= 0 {
 			w = 0.01
 		}
-		m.h.Cgroup().SetWeight(c.ID(), w)
+		m.h.SetClassWeight(c.ID(), w)
 	}
 	return cs.AnyTraffic || m.crossSocketGuestExists()
 }

@@ -26,8 +26,9 @@ type Counters struct {
 	Restores        uint64 // guests restored to collaborative mode
 }
 
-// Counters snapshots every counter in one call; prefer it over the
-// per-counter getters below.
+// Counters snapshots every counter in one call. It is the only counter
+// read surface: PR 3's deprecated per-counter getters are gone, and the
+// nodeprecated vet pass keeps Manager from regrowing them.
 func (m *Manager) Counters() Counters {
 	var c Counters
 	if fc := m.flush; fc != nil {
@@ -50,63 +51,3 @@ func (m *Manager) Counters() Counters {
 	c.Restores = m.live.restores
 	return c
 }
-
-// FlushNotices reports flush_now orders issued.
-//
-// Deprecated: use Counters.
-func (m *Manager) FlushNotices() uint64 { return m.Counters().FlushNotices }
-
-// Vetoes reports congestion queries answered "host not congested".
-//
-// Deprecated: use Counters.
-func (m *Manager) Vetoes() uint64 { return m.Counters().Vetoes }
-
-// Confirms reports congestion queries answered "host congested".
-//
-// Deprecated: use Counters.
-func (m *Manager) Confirms() uint64 { return m.Counters().Confirms }
-
-// Relieves reports VMs released when the host device left congestion.
-//
-// Deprecated: use Counters.
-func (m *Manager) Relieves() uint64 { return m.Counters().Relieves }
-
-// CoschedRuns reports co-scheduling weight updates applied.
-//
-// Deprecated: use Counters.
-func (m *Manager) CoschedRuns() uint64 { return m.Counters().CoschedRuns }
-
-// FlushTimeouts reports flush orders abandoned at the deadline.
-//
-// Deprecated: use Counters.
-func (m *Manager) FlushTimeouts() uint64 { return m.Counters().FlushTimeouts }
-
-// HeartbeatMisses reports stale-heartbeat detections.
-//
-// Deprecated: use Counters.
-func (m *Manager) HeartbeatMisses() uint64 { return m.Counters().HeartbeatMisses }
-
-// ReleaseRetries reports re-published release_request orders.
-//
-// Deprecated: use Counters.
-func (m *Manager) ReleaseRetries() uint64 { return m.Counters().ReleaseRetries }
-
-// ReleaseTimeouts reports releases that exhausted their retries.
-//
-// Deprecated: use Counters.
-func (m *Manager) ReleaseTimeouts() uint64 { return m.Counters().ReleaseTimeouts }
-
-// HoldTimeouts reports guests force-released at the hold deadline.
-//
-// Deprecated: use Counters.
-func (m *Manager) HoldTimeouts() uint64 { return m.Counters().HoldTimeouts }
-
-// Fallbacks reports guests demoted to Baseline behavior.
-//
-// Deprecated: use Counters.
-func (m *Manager) Fallbacks() uint64 { return m.Counters().Fallbacks }
-
-// Restores reports guests restored to collaborative mode.
-//
-// Deprecated: use Counters.
-func (m *Manager) Restores() uint64 { return m.Counters().Restores }

@@ -61,10 +61,10 @@ func TestStuckSyncGuestSkippedAndSiblingFlushed(t *testing.T) {
 	if d1.StuckSyncs() == 0 {
 		t.Fatal("sync fault never exercised")
 	}
-	if got := m.FlushTimeouts(); got < 3 {
+	if got := m.Counters().FlushTimeouts; got < 3 {
 		t.Fatalf("flush timeouts = %d, want >= FlushMaxRetries+1", got)
 	}
-	if m.Fallbacks() == 0 {
+	if m.Counters().Fallbacks == 0 {
 		t.Fatal("stuck guest never fell back")
 	}
 	// The loop proceeded: the sibling was flushed despite the stuck argmax
@@ -79,7 +79,7 @@ func TestStuckSyncGuestSkippedAndSiblingFlushed(t *testing.T) {
 	// after the penalty the guest is restored and finally drained.
 	d1.SetSyncFault(nil)
 	k.RunUntil(8 * sim.Second)
-	if m.Restores() == 0 {
+	if m.Counters().Restores == 0 {
 		t.Fatal("guest never restored after penalty")
 	}
 	if !m.Cooperative(rt1.G.ID()) {
@@ -113,14 +113,14 @@ func TestCrashedDriverFallsBackAndRestartRestores(t *testing.T) {
 	if m.Cooperative(dom) {
 		t.Fatal("guest with 1s-stale heartbeat still cooperative")
 	}
-	if m.HeartbeatMisses() == 0 || m.Fallbacks() == 0 || !m.InFallback(dom) {
+	if m.Counters().HeartbeatMisses == 0 || m.Counters().Fallbacks == 0 || !m.InFallback(dom) {
 		t.Fatalf("miss/fallback not recorded: misses=%d fallbacks=%d",
-			m.HeartbeatMisses(), m.Fallbacks())
+			m.Counters().HeartbeatMisses, m.Counters().Fallbacks)
 	}
 	k.At(k.Now()+500*sim.Millisecond, drv.Restart)
 	k.RunUntil(3 * sim.Second)
-	if m.Restores() == 0 || m.InFallback(dom) {
-		t.Fatalf("re-registration did not restore: restores=%d", m.Restores())
+	if m.Counters().Restores == 0 || m.InFallback(dom) {
+		t.Fatalf("re-registration did not restore: restores=%d", m.Counters().Restores)
 	}
 	if !m.Cooperative(dom) {
 		t.Fatal("restarted guest not cooperative")
@@ -164,13 +164,13 @@ func TestReleaseRetryRecoversLostNotification(t *testing.T) {
 	if dropped == 0 {
 		t.Fatal("fault never injected")
 	}
-	if m.ReleaseRetries() == 0 {
+	if m.Counters().ReleaseRetries == 0 {
 		t.Fatal("lost release never retried")
 	}
 	if drv.Releases() == 0 {
 		t.Fatal("guest never released despite retry")
 	}
-	if m.ReleaseTimeouts() != 0 || m.InFallback(dom) {
+	if m.Counters().ReleaseTimeouts != 0 || m.InFallback(dom) {
 		t.Fatal("single lost delivery must not exhaust retries")
 	}
 	if got := rt.G.Disk("xvda").Queue.Completed(); got != 40 {
@@ -193,11 +193,11 @@ func TestNeverAckingGuestFallsBackAndCompletes(t *testing.T) {
 		},
 	})
 	k.RunUntil(5 * sim.Second)
-	if m.ReleaseRetries() == 0 || m.ReleaseTimeouts() == 0 {
+	if m.Counters().ReleaseRetries == 0 || m.Counters().ReleaseTimeouts == 0 {
 		t.Fatalf("retries=%d timeouts=%d, want both > 0",
-			m.ReleaseRetries(), m.ReleaseTimeouts())
+			m.Counters().ReleaseRetries, m.Counters().ReleaseTimeouts)
 	}
-	if m.Fallbacks() == 0 {
+	if m.Counters().Fallbacks == 0 {
 		t.Fatal("never-acking guest never demoted")
 	}
 	// The driver itself is alive and heartbeating (only its release

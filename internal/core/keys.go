@@ -97,5 +97,5 @@ func socketKey(prefix string, socket int) string {
 
 // absDiskKey builds the absolute path of a per-disk key for a domain.
 func absDiskKey(dom store.DomID, disk, key string) string {
-	return store.DomainPath(dom) + "/" + diskKey(disk, key)
+	return store.DiskPath(dom, disk, key)
 }

@@ -89,7 +89,7 @@ func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.
 	// The management module is called when there is a change on watched
 	// items (Fig. 3): one privileged watch over all domains, fanned out
 	// to the registered routes.
-	m.st.Watch(store.Dom0, "/local/domain", m.onStoreEvent)
+	m.st.Watch(store.Dom0, store.Root, m.onStoreEvent)
 	return m
 }
 
@@ -210,7 +210,7 @@ func (m *Manager) crossSocketGuestExists() bool {
 // onStoreEvent parses /local/domain/<id>/<rel> and routes to the
 // controllers whose declared keys match.
 func (m *Manager) onStoreEvent(path, value string) {
-	const prefix = "/local/domain/"
+	const prefix = store.Root + "/"
 	if !strings.HasPrefix(path, prefix) {
 		return
 	}

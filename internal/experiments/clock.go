@@ -1,0 +1,39 @@
+package experiments
+
+import "time"
+
+// Clock supplies wall-clock readings for progress reporting in the
+// experiment binaries. It exists so cmd/experiments never calls time.Now
+// itself: the determinism vet pass bans wall-clock reads across the
+// simulation and its drivers, and elapsed-time reporting is the one
+// legitimate wall-clock consumer — so it is injected from here, outside
+// the deterministic scope, and tests can swap it for a fake.
+type Clock func() time.Time
+
+// wallClock is the process default; SetClock replaces it.
+var wallClock Clock = time.Now
+
+// SetClock installs an alternative clock (tests); nil restores the wall
+// clock.
+func SetClock(c Clock) {
+	if c == nil {
+		c = time.Now
+	}
+	wallClock = c
+}
+
+// Stopwatch measures elapsed wall time for progress lines.
+type Stopwatch struct {
+	clock Clock
+	start time.Time
+}
+
+// StartStopwatch begins timing on the injected clock.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{clock: wallClock, start: wallClock()}
+}
+
+// Elapsed reports wall time since StartStopwatch.
+func (s Stopwatch) Elapsed() time.Duration {
+	return s.clock().Sub(s.start)
+}

@@ -392,6 +392,13 @@ func (h *Host) SetGuestIOWeight(dom store.DomID, w float64) {
 	h.cg.SetWeight(int(dom), w)
 }
 
+// SetClassWeight sets an arbitrary dispatch class's cgroup weight on the
+// device — the actuation surface co-scheduling uses for I/O-core classes
+// (Sec. 3.3), so policy controllers never reach into the Cgroup itself.
+func (h *Host) SetClassWeight(id int, w float64) {
+	h.cg.SetWeight(id, w)
+}
+
 // TotalCores reports physical cores on the host.
 func (h *Host) TotalCores() int { return h.cfg.Sockets * h.cfg.CoresPerSocket }
 

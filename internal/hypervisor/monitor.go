@@ -81,6 +81,10 @@ func (mo *Monitor) CoreSnapshot(now sim.Time) CoreSnapshot {
 	return cs
 }
 
+// CapacityBps reports the shared device's spec capacity — the cheap
+// subset of DeviceSnapshot for callers that need no bandwidth sampling.
+func (mo *Monitor) CapacityBps() float64 { return mo.h.dev.CapacityBps() }
+
 // IOCongested reports the host-side congestion verdict input: the cgroup
 // or the device itself is overcrowded (Algorithm 2's host check).
 func (mo *Monitor) IOCongested() bool { return mo.h.IOCongested() }

@@ -161,10 +161,22 @@ func split(path string) ([]string, error) {
 	return parts, nil
 }
 
+// Root is the top of the per-domain namespace, mirroring XenStore's
+// /local/domain. It is the only sanctioned spelling of the prefix
+// outside this package: the storekeys vet pass flags raw path literals
+// everywhere else (docs/STORE_KEYS.md, docs/LINTING.md).
+const Root = "/local/domain"
+
 // DomainPath returns the canonical subtree root for a domain, mirroring
 // XenStore's /local/domain/<domid>.
 func DomainPath(dom DomID) string {
-	return "/local/domain/" + strconv.Itoa(int(dom))
+	return Root + "/" + strconv.Itoa(int(dom))
+}
+
+// DiskPath returns the absolute path of a per-disk key under a domain's
+// virt-dev subtree: /local/domain/<dom>/virt-dev/<disk>/<key>.
+func DiskPath(dom DomID, disk, key string) string {
+	return DomainPath(dom) + "/virt-dev/" + disk + "/" + key
 }
 
 // AddDomain creates the /local/domain/<dom> home directory owned by dom,

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+	"iorchestra/internal/trace"
 )
 
 // TestRecorderSameTickOrdering: events recorded at the same sim tick keep
@@ -14,10 +16,10 @@ import (
 // them (At, Seq)-sorted without any re-sort.
 func TestRecorderSameTickOrdering(t *testing.T) {
 	k := sim.NewKernel()
-	r := NewRecorder(k, 16)
-	kinds := []Kind{KindFlushOrder, KindCongestVeto, KindCoschedUpdate, KindStoreWrite}
+	r := trace.NewRecorder(k, 16)
+	kinds := []trace.Kind{trace.KindFlushOrder, trace.KindCongestVeto, trace.KindCoschedUpdate, trace.KindStoreWrite}
 	for i, kd := range kinds {
-		r.Record(Record{Kind: kd, Dom: i})
+		r.Record(trace.Record{Kind: kd, Dom: i})
 	}
 	evs := r.Events()
 	if len(evs) != len(kinds) {
@@ -40,9 +42,9 @@ func TestRecorderSameTickOrdering(t *testing.T) {
 // oldest-first, while lifetime counters stay exact.
 func TestRecorderRingEviction(t *testing.T) {
 	k := sim.NewKernel()
-	r := NewRecorder(k, 4)
+	r := trace.NewRecorder(k, 4)
 	for i := 0; i < 10; i++ {
-		r.Record(Record{Kind: KindStoreWrite, Dom: i})
+		r.Record(trace.Record{Kind: trace.KindStoreWrite, Dom: i})
 	}
 	if got := r.Recorded(); got != 10 {
 		t.Fatalf("Recorded = %d, want 10", got)
@@ -50,7 +52,7 @@ func TestRecorderRingEviction(t *testing.T) {
 	if got := r.Dropped(); got != 6 {
 		t.Fatalf("Dropped = %d, want 6", got)
 	}
-	if got := r.Count(KindStoreWrite); got != 10 {
+	if got := r.Count(trace.KindStoreWrite); got != 10 {
 		t.Fatalf("Count = %d, want 10 (lifetime, not ring)", got)
 	}
 	evs := r.Events()
@@ -67,24 +69,24 @@ func TestRecorderRingEviction(t *testing.T) {
 // TestNDJSONRoundTrip: records with every field populated survive the
 // encode/decode cycle byte-exactly.
 func TestNDJSONRoundTrip(t *testing.T) {
-	in := []Record{
-		{Seq: 0, At: 1_000_000, Kind: KindStoreWrite, Dom: 1,
-			Path: "/local/domain/1/virt-dev/xvda/nr_dirty", Value: "512"},
-		{Seq: 1, At: 1_000_000, Kind: KindFlushOrder, Dom: 1, Disk: "xvda",
+	in := []trace.Record{
+		{Seq: 0, At: 1_000_000, Kind: trace.KindStoreWrite, Dom: 1,
+			Path: store.DiskPath(1, "xvda", "nr_dirty"), Value: "512"},
+		{Seq: 1, At: 1_000_000, Kind: trace.KindFlushOrder, Dom: 1, Disk: "xvda",
 			NrDirty: 512, DeviceBps: 12.5e6, UtilFrac: 0.03},
-		{Seq: 2, At: 2_500_000, Kind: KindCongestVeto, Dom: 2, Disk: "xvda",
+		{Seq: 2, At: 2_500_000, Kind: trace.KindCongestVeto, Dom: 2, Disk: "xvda",
 			QueueDepth: 7, DevPending: 3},
-		{Seq: 3, At: 2_500_000, Kind: KindCoschedUpdate, Dom: 0,
+		{Seq: 3, At: 2_500_000, Kind: trace.KindCoschedUpdate, Dom: 0,
 			Weight: 1.75, CoreLatency: []float64{0.001, 0.004}},
-		{Seq: 4, At: 3_000_000, Kind: KindDevComplete, Dom: 3, Write: true,
+		{Seq: 4, At: 3_000_000, Kind: trace.KindDevComplete, Dom: 3, Write: true,
 			Size: 1 << 20, Latency: 8_100_000},
-		{Seq: 5, At: 3_000_001, Kind: KindCoschedMove, Dom: 3, Socket: 1, Weight: 2},
+		{Seq: 5, At: 3_000_001, Kind: trace.KindCoschedMove, Dom: 3, Socket: 1, Weight: 2},
 	}
 	var buf bytes.Buffer
-	if err := WriteNDJSON(&buf, in); err != nil {
+	if err := trace.WriteNDJSON(&buf, in); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ReadNDJSON(&buf)
+	out, err := trace.ReadNDJSON(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +102,11 @@ func TestReadNDJSONSkipsBlankAndReportsBadLines(t *testing.T) {
 
 {"seq":1,"at":2,"kind":"flush.sync","dom":1}
 `
-	out, err := ReadNDJSON(strings.NewReader(good))
+	out, err := trace.ReadNDJSON(strings.NewReader(good))
 	if err != nil || len(out) != 2 {
 		t.Fatalf("ReadNDJSON = %d records, %v", len(out), err)
 	}
-	_, err = ReadNDJSON(strings.NewReader(good + "{not json}\n"))
+	_, err = trace.ReadNDJSON(strings.NewReader(good + "{not json}\n"))
 	if err == nil || !strings.Contains(err.Error(), "line 4") {
 		t.Fatalf("bad line error = %v, want line 4", err)
 	}
@@ -114,9 +116,9 @@ func TestReadNDJSONSkipsBlankAndReportsBadLines(t *testing.T) {
 // metrics histograms that back per-run summaries.
 func TestRecorderDeviceLatencyFeed(t *testing.T) {
 	k := sim.NewKernel()
-	r := NewRecorder(k, 8)
+	r := trace.NewRecorder(k, 8)
 	for i := 1; i <= 4; i++ {
-		r.Record(Record{Kind: KindDevComplete, Dom: 3,
+		r.Record(trace.Record{Kind: trace.KindDevComplete, Dom: 3,
 			Latency: sim.Time(i) * sim.Time(sim.Millisecond)})
 	}
 	h := r.DomainLatency(3)
@@ -131,13 +133,13 @@ func TestRecorderDeviceLatencyFeed(t *testing.T) {
 // TestSummarizeFormat: the CLI summary names each decision family and the
 // per-domain completion latency percentiles.
 func TestSummarizeFormat(t *testing.T) {
-	evs := []Record{
-		{Seq: 0, At: 1, Kind: KindFlushOrder, Dom: 3, Disk: "xvda"},
-		{Seq: 1, At: 2, Kind: KindFlushSync, Dom: 3, Disk: "xvda"},
-		{Seq: 2, At: 3, Kind: KindCongestVeto, Dom: 3},
-		{Seq: 3, At: 4, Kind: KindDevComplete, Dom: 3, Latency: 8_100_000},
+	evs := []trace.Record{
+		{Seq: 0, At: 1, Kind: trace.KindFlushOrder, Dom: 3, Disk: "xvda"},
+		{Seq: 1, At: 2, Kind: trace.KindFlushSync, Dom: 3, Disk: "xvda"},
+		{Seq: 2, At: 3, Kind: trace.KindCongestVeto, Dom: 3},
+		{Seq: 3, At: 4, Kind: trace.KindDevComplete, Dom: 3, Latency: 8_100_000},
 	}
-	s := Summarize(evs)
+	s := trace.Summarize(evs)
 	if s.Total != 4 || len(s.Domains) != 1 || s.Domains[0].Dom != 3 {
 		t.Fatalf("Summarize = %+v", s)
 	}
