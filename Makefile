@@ -28,9 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Manager-tick microbenchmarks: all three policies over 8 guests.
+# Manager-tick microbenchmarks (all three policies over 8 guests), then
+# the netstore wire-protocol load bench: 64 live clients plus stalled
+# watchers against an in-process server, writing BENCH_netstore.json at
+# the repo root (schema in cmd/netstore-load/main.go).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkManagerTick -benchtime 1x ./internal/core/
+	$(GO) run ./cmd/netstore-load -clients 64 -stalled 4 -duration 2s -out BENCH_netstore.json
 
 check: fmt vet lint build test race
 

@@ -3,17 +3,28 @@
 // *trace.Recorder) and prints per-domain decision summaries and
 // timelines — the debugging tool for Algorithm 1–3 behaviour.
 //
+// It also tails a live iorchestra-stored trace endpoint: pass a
+// tcp://host:port or unix:///path URL (the server's -trace-listen
+// address) and records stream to stdout as they happen, with the
+// summary printed when the server closes the stream or -count records
+// have arrived.
+//
 //	iorchestra-trace run.ndjson                  # per-domain summary
 //	iorchestra-trace -timeline run.ndjson        # full event timeline
 //	iorchestra-trace -dom 3 -timeline run.ndjson # one domain's timeline
 //	iorchestra-trace -kind flush.order run.ndjson
 //	cat run.ndjson | iorchestra-trace -          # read stdin
+//	iorchestra-trace tcp://127.0.0.1:7012        # live tail a server
+//	iorchestra-trace -count 100 unix:///run/iorchestra/trace.sock
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -24,9 +35,10 @@ func main() {
 	dom := flag.Int("dom", -1, "restrict to one domain id (-1 = all)")
 	kind := flag.String("kind", "", "comma-separated kind filter (e.g. flush.order,congest.veto)")
 	timeline := flag.Bool("timeline", false, "print the event timeline instead of only the summary")
+	count := flag.Int("count", 0, "live tail: stop after this many matching records (0 = until the server closes)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: iorchestra-trace [flags] <trace.ndjson | ->\n\nflags:\n")
+			"usage: iorchestra-trace [flags] <trace.ndjson | - | tcp://addr | unix://path>\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,8 +47,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	name := flag.Arg(0)
+	if network, addr, ok := liveEndpoint(name); ok {
+		if err := tail(network, addr, *dom, *kind, *count); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var in io.Reader
-	if name := flag.Arg(0); name == "-" {
+	if name == "-" {
 		in = os.Stdin
 	} else {
 		f, err := os.Open(name)
@@ -66,6 +87,60 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(trace.Summarize(events).Format())
+}
+
+// liveEndpoint recognizes the tcp:// and unix:// URL forms that select
+// live-tail mode against an iorchestra-stored trace listener.
+func liveEndpoint(name string) (network, addr string, ok bool) {
+	if a, ok := strings.CutPrefix(name, "tcp://"); ok {
+		return "tcp", a, true
+	}
+	if a, ok := strings.CutPrefix(name, "unix://"); ok {
+		return "unix", a, true
+	}
+	return "", "", false
+}
+
+// tail streams NDJSON records from a live server, echoing each matching
+// record as it lands and summarizing once the stream ends.
+func tail(network, addr string, dom int, kinds string, count int) error {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "tailing %s://%s (ctrl-c to stop)\n", network, addr)
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var events []trace.Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec trace.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("trace stream: %w", err)
+		}
+		if kept := filter([]trace.Record{rec}, dom, kinds); len(kept) == 0 {
+			continue
+		}
+		events = append(events, rec)
+		fmt.Println(rec)
+		if count > 0 && len(events) >= count {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Println("trace: no events match")
+		return nil
+	}
+	fmt.Println()
+	fmt.Print(trace.Summarize(events).Format())
+	return nil
 }
 
 // filter keeps events matching the domain and kind selections.

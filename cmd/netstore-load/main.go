@@ -1,0 +1,281 @@
+// Command netstore-load drives an iorchestra-stored server (in-process
+// by default, or an external one via -addr) with a fleet of concurrent
+// clients and writes a benchmark report.
+//
+// The fleet is live clients plus deliberately stalled watchers: each
+// live client registers a watch over its own subtree and hammers the
+// store with writes, reads, lists and transactions; stalled clients
+// register a watch over the whole tree and never read their socket. The
+// bench passes when every live client survives with zero transport
+// errors while the server evicts every stalled one — the slow-client
+// isolation property the wire protocol exists to provide.
+//
+// Report schema (BENCH_netstore.json):
+//
+//	{
+//	  "bench": "netstore",                 // report discriminator
+//	  "config": {
+//	    "clients": 64,                     // live clients
+//	    "stalled_clients": 4,              // never-reading watchers
+//	    "duration_ms": 2000,               // op-loop wall time
+//	    "keys_per_client": 32,             // keys in each client's subtree
+//	    "value_bytes": 256,                // payload size per write
+//	    "notify_queue": 256,               // server per-conn event bound
+//	    "write_timeout_ms": 500,           // server eviction window
+//	    "network": "unix"                  // transport
+//	  },
+//	  "results": {
+//	    "ops": 123456,                     // completed client operations
+//	    "ops_per_sec": 61728.0,
+//	    "op_errors": 0,                    // failed operations (live clients)
+//	    "latency_us": {                    // per-op round-trip latency
+//	      "mean": 81.2, "p50": 64.0, "p90": 120.0, "p99": 310.0, "max": 1520.0
+//	    },
+//	    "events_received": 4096,           // watch events seen by live clients
+//	    "evicted": 4,                      // connections the server evicted
+//	    "live_client_failures": 0,         // live clients with transport errors
+//	    "server": { ... }                  // netstore.Counters snapshot
+//	  },
+//	  "pass": true                         // live clients clean AND stalled evicted
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iorchestra/internal/metrics"
+	"iorchestra/internal/netstore"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/store"
+)
+
+type config struct {
+	Clients      int    `json:"clients"`
+	Stalled      int    `json:"stalled_clients"`
+	DurationMS   int64  `json:"duration_ms"`
+	Keys         int    `json:"keys_per_client"`
+	ValueBytes   int    `json:"value_bytes"`
+	NotifyQueue  int    `json:"notify_queue"`
+	WriteTimeout int64  `json:"write_timeout_ms"`
+	Network      string `json:"network"`
+}
+
+type latencies struct {
+	MeanUS float64 `json:"mean"`
+	P50US  float64 `json:"p50"`
+	P90US  float64 `json:"p90"`
+	P99US  float64 `json:"p99"`
+	MaxUS  float64 `json:"max"`
+}
+
+type results struct {
+	Ops            uint64            `json:"ops"`
+	OpsPerSec      float64           `json:"ops_per_sec"`
+	OpErrors       uint64            `json:"op_errors"`
+	Latency        latencies         `json:"latency_us"`
+	EventsReceived uint64            `json:"events_received"`
+	Evicted        uint64            `json:"evicted"`
+	LiveFailures   int               `json:"live_client_failures"`
+	Server         netstore.Counters `json:"server"`
+}
+
+type report struct {
+	Bench   string  `json:"bench"`
+	Config  config  `json:"config"`
+	Results results `json:"results"`
+	Pass    bool    `json:"pass"`
+}
+
+func main() {
+	clients := flag.Int("clients", 64, "live clients")
+	stalled := flag.Int("stalled", 4, "stalled clients that never read their watch stream")
+	duration := flag.Duration("duration", 2*time.Second, "op-loop duration")
+	keys := flag.Int("keys", 32, "keys per client subtree")
+	valueBytes := flag.Int("value-bytes", 256, "write payload size")
+	notifyQueue := flag.Int("notify-queue", 256, "in-process server: per-conn event queue bound")
+	writeTimeout := flag.Duration("write-timeout", 500*time.Millisecond, "in-process server: eviction window")
+	addr := flag.String("addr", "", "external server URL (tcp://host:port or unix:///path); empty = spawn in-process")
+	out := flag.String("out", "BENCH_netstore.json", "report path")
+	flag.Parse()
+
+	cfg := config{
+		Clients: *clients, Stalled: *stalled, DurationMS: duration.Milliseconds(),
+		Keys: *keys, ValueBytes: *valueBytes, NotifyQueue: *notifyQueue,
+		WriteTimeout: writeTimeout.Milliseconds(),
+	}
+
+	var srv *netstore.Server
+	network, address := "", ""
+	if *addr != "" {
+		var ok bool
+		if address, ok = strings.CutPrefix(*addr, "tcp://"); ok {
+			network = "tcp"
+		} else if address, ok = strings.CutPrefix(*addr, "unix://"); ok {
+			network = "unix"
+		} else {
+			fatal(fmt.Errorf("bad -addr %q: want tcp:// or unix://", *addr))
+		}
+	} else {
+		srv = netstore.NewServer(netstore.Options{
+			NotifyQueue:  *notifyQueue,
+			WriteTimeout: *writeTimeout,
+		})
+		defer srv.Close()
+		dir, err := os.MkdirTemp("", "netstore-load")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		network, address = "unix", filepath.Join(dir, "store.sock")
+		l, err := net.Listen(network, address)
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(l)
+	}
+	cfg.Network = network
+
+	res, err := run(network, address, cfg, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	if srv != nil {
+		res.Server = srv.Counters()
+		res.Evicted = res.Server.Evicted
+	}
+
+	rep := report{Bench: "netstore", Config: cfg, Results: *res}
+	rep.Pass = res.LiveFailures == 0 && res.OpErrors == 0 &&
+		(cfg.Stalled == 0 || res.Evicted >= uint64(cfg.Stalled))
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("netstore-load: %d ops (%.0f/s), p99 %.0fµs, %d events, %d evicted, %d live failures → %s\n",
+		res.Ops, res.OpsPerSec, res.Latency.P99US, res.EventsReceived, res.Evicted, res.LiveFailures, *out)
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "netstore-load: FAIL (live clients must stay clean and stalled clients must be evicted)")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netstore-load:", err)
+	os.Exit(1)
+}
+
+// run executes the fleet and aggregates results.
+func run(network, address string, cfg config, duration time.Duration) (*results, error) {
+	payload := strings.Repeat("x", cfg.ValueBytes)
+	var (
+		ops      atomic.Uint64
+		opErrs   atomic.Uint64
+		events   atomic.Uint64
+		failures atomic.Int64
+	)
+	hists := make([]*metrics.Histogram, cfg.Clients)
+
+	// Stalled watchers first, so their tree-wide watches are installed
+	// before the write storm starts filling their queues.
+	for i := 0; i < cfg.Stalled; i++ {
+		c, err := netstore.DialStalled(network, address, store.Dom0, store.Root)
+		if err != nil {
+			return nil, fmt.Errorf("stalled watcher %d: %w", i, err)
+		}
+		defer c.Close()
+	}
+
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		dom := store.DomID(i + 1)
+		h := metrics.NewHistogram()
+		hists[i] = h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := netstore.Dial(network, address, dom, "")
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			defer c.Close()
+			base := store.DomainPath(dom)
+			for k := 0; k < cfg.Keys; k++ {
+				if err := c.Write(fmt.Sprintf("%s/k%d", base, k), "0"); err != nil {
+					failures.Add(1)
+					return
+				}
+			}
+			if _, err := c.Watch(base, func(string, string) { events.Add(1) }); err != nil {
+				failures.Add(1)
+				return
+			}
+			for n := 0; time.Now().Before(deadline); n++ {
+				key := fmt.Sprintf("%s/k%d", base, n%cfg.Keys)
+				t0 := time.Now()
+				var err error
+				switch n % 8 {
+				case 6:
+					_, err = c.Read(key)
+				case 7:
+					_, err = c.List(base)
+				default:
+					err = c.Write(key, payload)
+				}
+				if err != nil {
+					opErrs.Add(1)
+					continue
+				}
+				h.Record(sim.Time(time.Since(t0).Nanoseconds()))
+				ops.Add(1)
+			}
+			// The live-client health check: a final round trip and a clean
+			// transport after the storm.
+			if err := c.Ping(); err != nil {
+				failures.Add(1)
+				return
+			}
+			if err := c.Err(); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := metrics.NewHistogram()
+	for _, h := range hists {
+		all.Merge(h)
+	}
+	us := func(t sim.Time) float64 { return float64(t) / 1e3 }
+	res := &results{
+		Ops:            ops.Load(),
+		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
+		OpErrors:       opErrs.Load(),
+		EventsReceived: events.Load(),
+		LiveFailures:   int(failures.Load()),
+		Latency: latencies{
+			MeanUS: us(all.Mean()),
+			P50US:  us(all.Percentile(50)),
+			P90US:  us(all.Percentile(90)),
+			P99US:  us(all.Percentile(99)),
+			MaxUS:  us(all.Max()),
+		},
+	}
+	return res, nil
+}

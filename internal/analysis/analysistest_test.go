@@ -24,6 +24,49 @@ func TestMonitorOnlyFixture(t *testing.T)  { runFixture(t, MonitorOnly, "monitor
 func TestTraceCounterFixture(t *testing.T) { runFixture(t, TraceCounter, "tracecounter") }
 func TestNoDeprecatedFixture(t *testing.T) { runFixture(t, NoDeprecated, "nodeprecated") }
 
+// TestDeterminismScopeFixture proves both sides of the determinism
+// pass's scope gate on a miniature module tree (testdata/scope, module
+// path iorchestra): deterministic-sim packages and simulation-driving
+// commands are flagged, while nonSimScope's wire-facing packages —
+// internal/netstore and its commands — use the wall clock freely. Unlike
+// runFixture, scoping stays ENABLED here; the exempt packages carry no
+// want comments, so any diagnostic from them fails the test.
+func TestDeterminismScopeFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "scope")
+	pkgs, err := Load(LoadConfig{}, dir+"/...")
+	if err != nil {
+		t.Fatalf("loading scope fixture: %v", err)
+	}
+	var wants []*want
+	flagged := map[string]bool{}
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+		flagged[pkg.Path] = false
+	}
+	for _, p := range []string{
+		"iorchestra/internal/core", "iorchestra/internal/netstore",
+		"iorchestra/cmd/iorchestra-stored", "iorchestra/cmd/iorchestra-vet",
+	} {
+		if _, ok := flagged[p]; !ok {
+			t.Fatalf("scope fixture did not load %s; got %v", p, flagged)
+		}
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{Determinism}, false)
+	if err != nil {
+		t.Fatalf("running determinism on scope fixture: %v", err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic (scope gate leaked): %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.src)
+		}
+	}
+}
+
 // want is one expectation parsed from a fixture comment.
 type want struct {
 	file string

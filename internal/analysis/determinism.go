@@ -21,6 +21,19 @@ var determinismScope = map[string]bool{
 	"iorchestra/internal/blkio":      true,
 }
 
+// nonSimScope exempts the wire-facing packages from the determinism
+// pass. They bridge the simulated store to real sockets, so wall-clock
+// deadlines, timeouts and load pacing are their job, not a leak: the
+// store they host still runs on a private sim.Kernel, and golden-trace
+// parity is enforced on that side of the boundary (see
+// internal/netstore parity tests). The exemption wins over the
+// iorchestra/cmd/ prefix below.
+var nonSimScope = map[string]bool{
+	"iorchestra/internal/netstore":     true,
+	"iorchestra/cmd/iorchestra-stored": true,
+	"iorchestra/cmd/netstore-load":     true,
+}
+
 // Wall-clock and timer entry points of package time. Pure conversions
 // (time.Duration, time.ParseDuration, the unit constants) stay legal.
 var forbiddenTimeFuncs = map[string]bool{
@@ -52,6 +65,9 @@ var Determinism = &Analyzer{
 		"deterministic-sim packages; virtual time comes from sim.Kernel and " +
 		"randomness from an explicitly seeded stats.Stream",
 	AppliesTo: func(pkgPath string) bool {
+		if nonSimScope[pkgPath] {
+			return false
+		}
 		return determinismScope[pkgPath] || strings.HasPrefix(pkgPath, "iorchestra/cmd/")
 	},
 	Run: runDeterminism,

@@ -1,0 +1,9 @@
+// A simulation-driving command NOT in nonSimScope: the cmd/ prefix
+// keeps it inside the determinism pass.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,3 @@
+module iorchestra
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package core stands in for a deterministic-sim package: the
+// determinism pass must flag wall-clock reads here.
+package core
+
+import "time"
+
+func Tick() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,15 @@
+// Package netstore stands in for the wire-facing store server: it is in
+// nonSimScope, so its wall-clock socket deadlines must NOT be flagged —
+// no want comments in this file, and the scope test fails on any
+// unexpected diagnostic.
+package netstore
+
+import "time"
+
+func Deadline() time.Time {
+	return time.Now().Add(2 * time.Second)
+}
+
+func Pace() {
+	time.Sleep(time.Millisecond)
+}

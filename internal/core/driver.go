@@ -23,7 +23,7 @@ import (
 type Driver struct {
 	k   *sim.Kernel
 	g   *guest.Guest
-	dom *bus.Domain
+	dom bus.Conn
 	rng *stats.Stream
 	rec *trace.Recorder // host's decision-trace recorder (may be nil)
 

@@ -1,0 +1,619 @@
+package netstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"iorchestra/internal/store"
+)
+
+// Client is a wire connection to an iorchestra-stored server, bound to
+// one domain by the handshake. Its method set mirrors the store surface a
+// guest sees in-process; Domain() adapts it to the bus.Conn shape the
+// guest driver consumes, so a driver can run out-of-process unchanged.
+//
+// A Client is safe for concurrent use. Requests may be issued from many
+// goroutines; watch callbacks are delivered sequentially by a dedicated
+// dispatcher goroutine, and may themselves issue Client operations.
+type Client struct {
+	c   net.Conn
+	dom store.DomID
+
+	// storeVersion is the server's version counter at handshake.
+	storeVersion uint64
+
+	reqMu   sync.Mutex
+	nextReq uint32
+	pending map[uint32]chan *dec
+
+	watchMu   sync.Mutex
+	nextWatch uint32
+	watchFns  map[uint32]func(path, value string)
+
+	// events feeds the dispatcher goroutine; the buffer decouples the
+	// read loop from user callbacks so a callback issuing RPCs cannot
+	// deadlock against its own connection.
+	events chan clientEvent
+
+	timeout time.Duration
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	// err records why the connection died, for post-mortem reporting.
+	errMu  sync.Mutex
+	errVal error
+}
+
+type clientEvent struct {
+	watch uint32
+	path  string
+	value string
+}
+
+// DefaultTimeout bounds each request round trip unless SetTimeout
+// changes it.
+const DefaultTimeout = 30 * time.Second
+
+// Dial connects to an iorchestra-stored endpoint ("tcp" or "unix") and
+// performs the handshake binding the connection to dom. token is
+// required only when dom is Dom0 and the server enforces a token.
+func Dial(network, addr string, dom store.DomID, token string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc, dom, token)
+}
+
+// NewClient performs the handshake over an established connection.
+func NewClient(nc net.Conn, dom store.DomID, token string) (*Client, error) {
+	c := &Client{
+		c:        nc,
+		dom:      dom,
+		pending:  map[uint32]chan *dec{},
+		watchFns: map[uint32]func(path, value string){},
+		events:   make(chan clientEvent, 4096),
+		timeout:  DefaultTimeout,
+		closedCh: make(chan struct{}),
+	}
+	// Handshake is synchronous: one frame out, one frame back, before the
+	// read loop owns the socket.
+	e := &enc{}
+	e.op(OpHandshake, 1)
+	e.u32(Magic)
+	e.u8(ProtocolVersion)
+	e.u32(uint32(dom))
+	e.str(token)
+	if err := writeFrame(nc, e.b); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	payload, err := readFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	d := &dec{b: payload}
+	if Op(d.u8()) != OpReply || d.u32() != 1 {
+		nc.Close()
+		return nil, fmt.Errorf("%w: unexpected handshake reply", ErrBadRequest)
+	}
+	st := Status(d.u8())
+	msg := d.str()
+	if rerr := errOf(st, msg); rerr != nil {
+		nc.Close()
+		return nil, rerr
+	}
+	c.storeVersion = d.u64()
+	if err := d.done(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	go c.dispatchLoop()
+	return c, nil
+}
+
+// ID reports the domain this connection is bound to.
+func (c *Client) ID() store.DomID { return c.dom }
+
+// ServerVersion reports the store's mutation counter as of the
+// handshake, the anchor for Snapshot-based catch-up.
+func (c *Client) ServerVersion() uint64 { return c.storeVersion }
+
+// SetTimeout bounds each request round trip (0 disables).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close tears the connection down; in-flight requests fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Err reports why the connection died (nil while healthy).
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	select {
+	case <-c.closedCh:
+		return c.errVal
+	default:
+		return nil
+	}
+}
+
+// fail closes the connection once, recording the cause and waking every
+// waiter.
+func (c *Client) fail(err error) {
+	c.closeOnce.Do(func() {
+		c.errMu.Lock()
+		c.errVal = err
+		c.errMu.Unlock()
+		close(c.closedCh)
+		c.c.Close()
+		c.reqMu.Lock()
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+		c.reqMu.Unlock()
+	})
+}
+
+func (c *Client) readLoop() {
+	for {
+		payload, err := readFrame(c.c)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			close(c.events)
+			return
+		}
+		d := &dec{b: payload}
+		op := Op(d.u8())
+		id := d.u32()
+		if d.err != nil {
+			c.fail(fmt.Errorf("%w: truncated frame from server", ErrBadRequest))
+			close(c.events)
+			return
+		}
+		switch op {
+		case OpReply:
+			c.reqMu.Lock()
+			ch := c.pending[id]
+			delete(c.pending, id)
+			c.reqMu.Unlock()
+			if ch != nil {
+				ch <- d
+			}
+		case OpEvent:
+			watch := d.u32()
+			path := d.str()
+			value := d.str()
+			if d.done() == nil {
+				c.events <- clientEvent{watch: watch, path: path, value: value}
+			}
+		default:
+			c.fail(fmt.Errorf("%w: unexpected opcode %d from server", ErrBadRequest, uint8(op)))
+			close(c.events)
+			return
+		}
+	}
+}
+
+func (c *Client) dispatchLoop() {
+	for ev := range c.events {
+		c.watchMu.Lock()
+		fn := c.watchFns[ev.watch]
+		c.watchMu.Unlock()
+		if fn != nil {
+			fn(ev.path, ev.value)
+		}
+	}
+}
+
+// rpc sends one request payload and waits for its reply decoder.
+func (c *Client) rpc(build func(e *enc, id uint32)) (*dec, error) {
+	select {
+	case <-c.closedCh:
+		return nil, c.Err()
+	default:
+	}
+	ch := make(chan *dec, 1)
+	c.reqMu.Lock()
+	c.nextReq++
+	id := c.nextReq
+	c.pending[id] = ch
+	e := &enc{}
+	build(e, id)
+	// Frames must hit the socket in pending-registration order, so the
+	// write stays under reqMu; net.Conn writes are safe but interleaving
+	// is on us.
+	err := writeFrame(c.c, e.b)
+	c.reqMu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return nil, c.Err()
+	}
+	var timer <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			return nil, c.Err()
+		}
+		return d, nil
+	case <-timer:
+		c.reqMu.Lock()
+		delete(c.pending, id)
+		c.reqMu.Unlock()
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, c.timeout)
+	}
+}
+
+// call performs an rpc and decodes the standard status+message prefix;
+// the returned decoder is positioned at the op-specific body.
+func (c *Client) call(op Op, args func(*enc)) (*dec, error) {
+	d, err := c.rpc(func(e *enc, id uint32) {
+		e.op(op, id)
+		if args != nil {
+			args(e)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := Status(d.u8())
+	msg := d.str()
+	if err := errOf(st, msg); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// --- Store surface ----------------------------------------------------------
+
+// Read returns the value at an absolute path.
+func (c *Client) Read(path string) (string, error) {
+	d, err := c.call(OpRead, func(e *enc) { e.str(path) })
+	if err != nil {
+		return "", err
+	}
+	v := d.str()
+	return v, d.done()
+}
+
+// Write sets the value at an absolute path.
+func (c *Client) Write(path, value string) error {
+	d, err := c.call(OpWrite, func(e *enc) { e.str(path); e.str(value) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Remove deletes the node (and subtree) at an absolute path.
+func (c *Client) Remove(path string) error {
+	d, err := c.call(OpRemove, func(e *enc) { e.str(path) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// List returns the sorted child names under an absolute path.
+func (c *Client) List(path string) ([]string, error) {
+	d, err := c.call(OpList, func(e *enc) { e.str(path) })
+	if err != nil {
+		return nil, err
+	}
+	n := d.u32()
+	names := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		names = append(names, d.str())
+	}
+	return names, d.done()
+}
+
+// Grant gives target a permission on an absolute path.
+func (c *Client) Grant(path string, target store.DomID, perm store.Perm) error {
+	d, err := c.call(OpGrant, func(e *enc) {
+		e.str(path)
+		e.u32(uint32(target))
+		e.u8(uint8(perm))
+	})
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Exists reports whether an absolute path names a node.
+func (c *Client) Exists(path string) (bool, error) {
+	d, err := c.call(OpExists, func(e *enc) { e.str(path) })
+	if err != nil {
+		return false, err
+	}
+	v := d.u8()
+	return v == 1, d.done()
+}
+
+// Ping round-trips an empty request (liveness / latency probe).
+func (c *Client) Ping() error {
+	d, err := c.call(OpPing, nil)
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Stats fetches the server's wire+store counters.
+func (c *Client) Stats() (Counters, error) {
+	var ctr Counters
+	d, err := c.call(OpStats, nil)
+	if err != nil {
+		return ctr, err
+	}
+	blob := d.str()
+	if err := d.done(); err != nil {
+		return ctr, err
+	}
+	return ctr, json.Unmarshal([]byte(blob), &ctr)
+}
+
+// Snapshot walks the subtree at root readable by this domain and returns
+// its nodes plus the store version at the instant of the walk — the
+// reconnect bootstrap: snapshot first, then re-register watches, and no
+// change is lost in between because the walk and the version are atomic
+// on the server.
+func (c *Client) Snapshot(root string) (map[string]string, uint64, error) {
+	d, err := c.call(OpSnapshot, func(e *enc) { e.str(root) })
+	if err != nil {
+		return nil, 0, err
+	}
+	version := d.u64()
+	n := d.u32()
+	nodes := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		p := d.str()
+		v := d.str()
+		nodes[p] = v
+	}
+	return nodes, version, d.done()
+}
+
+// Watch registers fn on an absolute prefix. The callback runs on the
+// client's dispatcher goroutine; events for the same path may be
+// coalesced (latest value wins) if this client falls behind.
+func (c *Client) Watch(prefix string, fn func(path, value string)) (store.WatchID, error) {
+	c.watchMu.Lock()
+	c.nextWatch++
+	cwid := c.nextWatch
+	// Install before sending: the first event may beat the reply.
+	c.watchFns[cwid] = fn
+	c.watchMu.Unlock()
+	d, err := c.call(OpWatch, func(e *enc) { e.u32(cwid); e.str(prefix) })
+	if err != nil {
+		c.watchMu.Lock()
+		delete(c.watchFns, cwid)
+		c.watchMu.Unlock()
+		return 0, err
+	}
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	return store.WatchID(cwid), nil
+}
+
+// Unwatch removes a watch registered through this client.
+func (c *Client) Unwatch(id store.WatchID) {
+	cwid := uint32(id)
+	c.watchMu.Lock()
+	delete(c.watchFns, cwid)
+	c.watchMu.Unlock()
+	d, err := c.call(OpUnwatch, func(e *enc) { e.u32(cwid) })
+	if err == nil {
+		_ = d.done()
+	}
+}
+
+// --- Typed helpers (mirror store.Store's encodings) -------------------------
+
+// WriteInt writes an integer value.
+func (c *Client) WriteInt(path string, v int64) error {
+	return c.Write(path, strconv.FormatInt(v, 10))
+}
+
+// ReadInt reads an integer value; absent nodes return defaultV.
+func (c *Client) ReadInt(path string, defaultV int64) (int64, error) {
+	raw, err := c.Read(path)
+	if errors.Is(err, store.ErrNoEntry) {
+		return defaultV, nil
+	}
+	if err != nil {
+		return defaultV, err
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return defaultV, fmt.Errorf("netstore: %s holds non-integer %q", path, raw)
+	}
+	return v, nil
+}
+
+// WriteBool writes "1" or "0".
+func (c *Client) WriteBool(path string, v bool) error {
+	if v {
+		return c.Write(path, "1")
+	}
+	return c.Write(path, "0")
+}
+
+// ReadBool reads a boolean; absent nodes return false.
+func (c *Client) ReadBool(path string) (bool, error) {
+	raw, err := c.Read(path)
+	if errors.Is(err, store.ErrNoEntry) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return raw == "1" || raw == "true", nil
+}
+
+// WriteFloat writes a float value.
+func (c *Client) WriteFloat(path string, v float64) error {
+	return c.Write(path, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// ReadFloat reads a float value; absent nodes return defaultV.
+func (c *Client) ReadFloat(path string, defaultV float64) (float64, error) {
+	raw, err := c.Read(path)
+	if errors.Is(err, store.ErrNoEntry) {
+		return defaultV, nil
+	}
+	if err != nil {
+		return defaultV, err
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return defaultV, fmt.Errorf("netstore: %s holds non-float %q", path, raw)
+	}
+	return v, nil
+}
+
+// DialStalled connects and handshakes as dom, registers a watch on
+// prefix, and then never reads from the socket again — a deliberately
+// stalled client. Eviction tests and the load bench use it to prove a
+// wedged guest is coalesced around and eventually cut off while live
+// clients keep their streams. Closing the returned conn is the caller's
+// job.
+func DialStalled(network, addr string, dom store.DomID, prefix string) (net.Conn, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(e error) (net.Conn, error) { nc.Close(); return nil, e }
+	hs := &enc{}
+	hs.op(OpHandshake, 1)
+	hs.u32(Magic)
+	hs.u8(ProtocolVersion)
+	hs.u32(uint32(dom))
+	hs.str("")
+	if err := writeFrame(nc, hs.b); err != nil {
+		return fail(err)
+	}
+	if err := readStalledReply(nc); err != nil {
+		return fail(err)
+	}
+	w := &enc{}
+	w.op(OpWatch, 2)
+	w.u32(1)
+	w.str(prefix)
+	if err := writeFrame(nc, w.b); err != nil {
+		return fail(err)
+	}
+	if err := readStalledReply(nc); err != nil {
+		return fail(err)
+	}
+	return nc, nil
+}
+
+// readStalledReply consumes one reply frame (skipping any interleaved
+// events) and surfaces its status.
+func readStalledReply(nc net.Conn) error {
+	for {
+		payload, err := readFrame(nc)
+		if err != nil {
+			return err
+		}
+		d := &dec{b: payload}
+		if Op(d.u8()) == OpEvent {
+			continue
+		}
+		d.u32() // request id
+		st := Status(d.u8())
+		msg := d.str()
+		if err := errOf(st, msg); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// --- Transactions -----------------------------------------------------------
+
+// Txn is a wire-backed optimistic transaction, mirroring store.Txn:
+// reads are tracked and writes buffered server-side; Commit fails with
+// store.ErrConflict if anything read changed underneath it.
+type Txn struct {
+	c   *Client
+	tid uint32
+}
+
+// Begin opens a transaction on the server.
+func (c *Client) Begin() (*Txn, error) {
+	d, err := c.call(OpTxnBegin, nil)
+	if err != nil {
+		return nil, err
+	}
+	tid := d.u32()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &Txn{c: c, tid: tid}, nil
+}
+
+// Read reads within the transaction.
+func (t *Txn) Read(path string) (string, error) {
+	d, err := t.c.call(OpTxnRead, func(e *enc) { e.u32(t.tid); e.str(path) })
+	if err != nil {
+		return "", err
+	}
+	v := d.str()
+	return v, d.done()
+}
+
+// Write buffers a write within the transaction.
+func (t *Txn) Write(path, value string) error {
+	d, err := t.c.call(OpTxnWrite, func(e *enc) { e.u32(t.tid); e.str(path); e.str(value) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Remove buffers a removal within the transaction.
+func (t *Txn) Remove(path string) error {
+	d, err := t.c.call(OpTxnRemove, func(e *enc) { e.u32(t.tid); e.str(path) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Commit validates and applies the transaction atomically.
+func (t *Txn) Commit() error {
+	d, err := t.c.call(OpTxnCommit, func(e *enc) { e.u32(t.tid) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() error {
+	d, err := t.c.call(OpTxnAbort, func(e *enc) { e.u32(t.tid) })
+	if err != nil {
+		return err
+	}
+	return d.done()
+}

@@ -1,0 +1,75 @@
+package netstore
+
+import (
+	"iorchestra/internal/bus"
+	"iorchestra/internal/store"
+)
+
+// Domain adapts a Client to bus.Conn, the relative-path store surface a
+// guest driver consumes, so the same driver code runs against an
+// in-process bus.Domain or an iorchestra-stored server across a socket.
+type Domain struct {
+	c *Client
+}
+
+var _ bus.Conn = (*Domain)(nil)
+
+// Domain returns the bus.Conn view of the client's bound domain.
+func (c *Client) Domain() *Domain { return &Domain{c: c} }
+
+// ID reports the domain id bound at handshake.
+func (d *Domain) ID() store.DomID { return d.c.dom }
+
+// Path resolves a relative key to the domain's absolute store path.
+func (d *Domain) Path(rel string) string {
+	if rel == "" {
+		return store.DomainPath(d.c.dom)
+	}
+	return store.DomainPath(d.c.dom) + "/" + rel
+}
+
+// Write sets a key within the domain's own subtree.
+func (d *Domain) Write(rel, value string) error { return d.c.Write(d.Path(rel), value) }
+
+// WriteBool sets a boolean key within the domain's own subtree.
+func (d *Domain) WriteBool(rel string, v bool) error { return d.c.WriteBool(d.Path(rel), v) }
+
+// WriteInt sets an integer key within the domain's own subtree.
+func (d *Domain) WriteInt(rel string, v int64) error { return d.c.WriteInt(d.Path(rel), v) }
+
+// WriteFloat sets a float key within the domain's own subtree.
+func (d *Domain) WriteFloat(rel string, v float64) error { return d.c.WriteFloat(d.Path(rel), v) }
+
+// Read reads a key from the domain's own subtree.
+func (d *Domain) Read(rel string) (string, error) { return d.c.Read(d.Path(rel)) }
+
+// ReadBool reads a boolean key (false when absent).
+func (d *Domain) ReadBool(rel string) (bool, error) { return d.c.ReadBool(d.Path(rel)) }
+
+// ReadInt reads an integer key with a default.
+func (d *Domain) ReadInt(rel string, def int64) (int64, error) {
+	return d.c.ReadInt(d.Path(rel), def)
+}
+
+// ReadFloat reads a float key with a default.
+func (d *Domain) ReadFloat(rel string, def float64) (float64, error) {
+	return d.c.ReadFloat(d.Path(rel), def)
+}
+
+// Watch registers a callback on a relative prefix of the domain's own
+// subtree; fn receives the path relative to the domain root, exactly as
+// bus.Domain.Watch delivers it.
+func (d *Domain) Watch(rel string, fn func(rel, value string)) (store.WatchID, error) {
+	prefix := d.Path(rel)
+	base := store.DomainPath(d.c.dom) + "/"
+	return d.c.Watch(prefix, func(path, value string) {
+		r := path
+		if len(path) > len(base) && path[:len(base)] == base {
+			r = path[len(base):]
+		}
+		fn(r, value)
+	})
+}
+
+// Unwatch removes a previously registered watch.
+func (d *Domain) Unwatch(id store.WatchID) { d.c.Unwatch(id) }

@@ -1,0 +1,598 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iorchestra/internal/store"
+	"iorchestra/internal/trace"
+)
+
+// startServer brings up a server on a fresh Unix socket and tears both
+// down with the test.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	s := NewServer(opts)
+	sock := filepath.Join(t.TempDir(), "stored.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+	return s, sock
+}
+
+func dialT(t *testing.T, sock string, dom store.DomID) *Client {
+	t.Helper()
+	c, err := Dial("unix", sock, dom, "")
+	if err != nil {
+		t.Fatalf("dial dom%d: %v", dom, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBasicOps(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+
+	base := store.DomainPath(3)
+	if err := c.Write(base+"/virt-dev/xvda/nr", "42"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := c.Read(base + "/virt-dev/xvda/nr")
+	if err != nil || v != "42" {
+		t.Fatalf("read = %q, %v; want 42", v, err)
+	}
+	if _, err := c.Read(base + "/missing"); !errors.Is(err, store.ErrNoEntry) {
+		t.Fatalf("missing read err = %v; want ErrNoEntry", err)
+	}
+	names, err := c.List(base + "/virt-dev")
+	if err != nil || len(names) != 1 || names[0] != "xvda" {
+		t.Fatalf("list = %v, %v; want [xvda]", names, err)
+	}
+	ok, err := c.Exists(base + "/virt-dev/xvda")
+	if err != nil || !ok {
+		t.Fatalf("exists = %v, %v; want true", ok, err)
+	}
+	if err := c.Remove(base + "/virt-dev/xvda"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if ok, _ := c.Exists(base + "/virt-dev/xvda"); ok {
+		t.Fatal("node survives remove")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+func TestTypedHelpers(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 4)
+	base := store.DomainPath(4)
+
+	if err := c.WriteInt(base+"/n", 7); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.ReadInt(base+"/n", -1); err != nil || n != 7 {
+		t.Fatalf("ReadInt = %d, %v", n, err)
+	}
+	if n, err := c.ReadInt(base+"/absent", 5); err != nil || n != 5 {
+		t.Fatalf("ReadInt default = %d, %v", n, err)
+	}
+	if err := c.WriteBool(base+"/b", true); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := c.ReadBool(base + "/b"); err != nil || !b {
+		t.Fatalf("ReadBool = %v, %v", b, err)
+	}
+	if err := c.WriteFloat(base+"/f", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := c.ReadFloat(base+"/f", 0); err != nil || f != 2.5 {
+		t.Fatalf("ReadFloat = %g, %v", f, err)
+	}
+}
+
+func TestPermissionBoundary(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	guest := dialT(t, sock, 3)
+	intruder := dialT(t, sock, 5)
+	dom0 := dialT(t, sock, store.Dom0)
+
+	secret := store.DomainPath(3) + "/secret"
+	if err := guest.Write(secret, "mine"); err != nil {
+		t.Fatalf("guest write: %v", err)
+	}
+	// Another guest can neither read nor write dom3's subtree.
+	if _, err := intruder.Read(secret); !errors.Is(err, store.ErrPermission) {
+		t.Fatalf("cross-domain read err = %v; want ErrPermission", err)
+	}
+	if err := intruder.Write(secret, "stolen"); !errors.Is(err, store.ErrPermission) {
+		t.Fatalf("cross-domain write err = %v; want ErrPermission", err)
+	}
+	// Dom0 reads everything.
+	if v, err := dom0.Read(secret); err != nil || v != "mine" {
+		t.Fatalf("dom0 read = %q, %v", v, err)
+	}
+	// An explicit grant opens the node to the intruder.
+	if err := guest.Grant(secret, 5, store.PermRead); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	if v, err := intruder.Read(secret); err != nil || v != "mine" {
+		t.Fatalf("granted read = %q, %v", v, err)
+	}
+}
+
+func TestDom0Auth(t *testing.T) {
+	_, sock := startServer(t, Options{Dom0Token: "s3cret"})
+	if _, err := Dial("unix", sock, store.Dom0, "wrong"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bad token err = %v; want ErrAuth", err)
+	}
+	c, err := Dial("unix", sock, store.Dom0, "s3cret")
+	if err != nil {
+		t.Fatalf("good token: %v", err)
+	}
+	c.Close()
+	// Guests are not asked for the token.
+	g, err := Dial("unix", sock, 7, "")
+	if err != nil {
+		t.Fatalf("guest dial: %v", err)
+	}
+	g.Close()
+}
+
+func TestWatchDelivery(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	watcher := dialT(t, sock, 3)
+	writer := dialT(t, sock, store.Dom0)
+
+	type ev struct{ path, value string }
+	got := make(chan ev, 16)
+	base := store.DomainPath(3)
+	// The guest creates its key first (guest-owned, so it can read it —
+	// nodes Dom0 creates under a guest subtree are invisible to the
+	// guest), then registers the watch, then Dom0 flips the value.
+	if err := watcher.Write(base+"/flush_now", "0"); err != nil {
+		t.Fatalf("create key: %v", err)
+	}
+	if _, err := watcher.Watch(base, func(p, v string) { got <- ev{p, v} }); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if err := writer.Write(base+"/flush_now", "1"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case e := <-got:
+		if e.path != base+"/flush_now" || e.value != "1" {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch event never arrived")
+	}
+	// A write the watcher cannot read must not leak through the watch.
+	other := store.DomainPath(9)
+	if err := writer.Write(other+"/private", "x"); err != nil {
+		t.Fatalf("write other: %v", err)
+	}
+	// And unwatch stops the stream.
+	if err := writer.Write(base+"/flush_now", "0"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.value != "0" {
+			t.Fatalf("second event = %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second event never arrived")
+	}
+}
+
+func TestWatchCallbackMayReenterClient(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+
+	done := make(chan string, 1)
+	_, err := c.Watch(base+"/ping", func(p, v string) {
+		// Issuing an RPC from the dispatcher goroutine must not deadlock.
+		if v == "go" {
+			if err := c.Write(base+"/pong", "ok"); err != nil {
+				done <- err.Error()
+				return
+			}
+			got, err := c.Read(base + "/pong")
+			if err != nil {
+				done <- err.Error()
+				return
+			}
+			done <- got
+		}
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if err := c.Write(base+"/ping", "go"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case v := <-done:
+		if v != "ok" {
+			t.Fatalf("callback result = %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant callback deadlocked")
+	}
+}
+
+func TestUnwatchStopsEvents(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+
+	got := make(chan string, 16)
+	id, err := c.Watch(base, func(p, v string) { got <- p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(base+"/a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event before unwatch")
+	}
+	c.Unwatch(id)
+	if err := c.Write(base+"/b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// The write round trip has fully drained the store loop; anything the
+	// watch produced would already be queued. Ping once more to flush the
+	// dispatcher, then assert silence.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		t.Fatalf("event %q after unwatch", p)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestTxnCommitAndConflict(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	a := dialT(t, sock, store.Dom0)
+	b := dialT(t, sock, store.Dom0)
+	path := store.DomainPath(0) + "/counter"
+	if err := a.Write(path, "0"); err != nil {
+		t.Fatal(err)
+	}
+
+	ta, err := a.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ta.Read(path); err != nil || v != "0" {
+		t.Fatalf("txn read = %q, %v", v, err)
+	}
+	if err := ta.Write(path, "1"); err != nil {
+		t.Fatal(err)
+	}
+	// A conflicting write from another connection lands first.
+	if err := b.Write(path, "99"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Commit(); !errors.Is(err, store.ErrConflict) {
+		t.Fatalf("commit err = %v; want ErrConflict", err)
+	}
+	// Retry succeeds.
+	ta2, err := a.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta2.Read(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta2.Write(path, "100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta2.Commit(); err != nil {
+		t.Fatalf("retry commit: %v", err)
+	}
+	if v, _ := a.Read(path); v != "100" {
+		t.Fatalf("final value = %q", v)
+	}
+	// Operations on a finished transaction answer ErrUnknownTxn.
+	if err := ta2.Write(path, "x"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("finished txn err = %v; want ErrUnknownTxn", err)
+	}
+}
+
+func TestTxnAbortAndLimit(t *testing.T) {
+	_, sock := startServer(t, Options{MaxTxns: 2})
+	c := dialT(t, sock, store.Dom0)
+	path := store.DomainPath(0) + "/k"
+
+	txn, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(path, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Exists(path); ok {
+		t.Fatal("aborted write applied")
+	}
+	t1, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Abort()
+	t2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Abort()
+	if _, err := c.Begin(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("txn over limit err = %v; want ErrBadRequest", err)
+	}
+}
+
+func TestSnapshotBootstrap(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	base := store.DomainPath(3)
+	seed := map[string]string{
+		base + "/virt-dev/xvda/nr_dirty": "10",
+		base + "/virt-dev/xvda/flush":    "0",
+		base + "/io/weight/0":            "1.5",
+	}
+	// The guest seeds its own keys (guest-owned, so the snapshot walk can
+	// read them), as a real driver does at registration.
+	guest := dialT(t, sock, 3)
+	for p, v := range seed {
+		if err := guest.Write(p, v); err != nil {
+			t.Fatalf("seed %s: %v", p, err)
+		}
+	}
+	nodes, version, err := guest.Snapshot(base)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if version == 0 {
+		t.Fatal("snapshot version = 0 after writes")
+	}
+	for p, want := range seed {
+		if got, ok := nodes[p]; !ok || got != want {
+			t.Fatalf("snapshot[%s] = %q, %v; want %q", p, got, ok, want)
+		}
+	}
+	// A fresh connection reconstructs identical state: the reconnect path.
+	guest2 := dialT(t, sock, 3)
+	nodes2, v2, err := guest2.Snapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 < version || len(nodes2) != len(nodes) {
+		t.Fatalf("reconnect snapshot: %d nodes @v%d vs %d @v%d", len(nodes2), v2, len(nodes), version)
+	}
+	// Guests cannot snapshot another domain's subtree contents.
+	nodes3, _, err := guest.Snapshot(store.DomainPath(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes3) != 0 {
+		t.Fatalf("guest snapshot of foreign subtree leaked %d nodes", len(nodes3))
+	}
+}
+
+func TestStalledClientEvicted(t *testing.T) {
+	srv, sock := startServer(t, Options{NotifyQueue: 4, WriteTimeout: 300 * time.Millisecond})
+	// The blaster shares dom3 so the dom3 watchers can read every node it
+	// creates (Dom0-created nodes would be invisible to them).
+	writer := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+
+	stalled, err := DialStalled("unix", sock, 3, base)
+	if err != nil {
+		t.Fatalf("stalled dial: %v", err)
+	}
+	defer stalled.Close()
+
+	// A live watcher on the same subtree must survive the blast.
+	live := dialT(t, sock, 3)
+	var liveMu sync.Mutex
+	liveLast := ""
+	if _, err := live.Watch(base, func(p, v string) {
+		liveMu.Lock()
+		liveLast = v
+		liveMu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct paths with fat values: the socket buffer fills, the writer
+	// stalls, the queue overflows, and nothing can coalesce.
+	fat := strings.Repeat("x", 32<<10)
+	for i := 0; i < 200; i++ {
+		if err := writer.Write(fmt.Sprintf("%s/blast/%d", base, i), fat); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Counters().Evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled client never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Final sentinel write: the live client must still be streaming.
+	if err := writer.Write(base+"/blast/final", "final"); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		liveMu.Lock()
+		last := liveLast
+		liveMu.Unlock()
+		if last == "final" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live client lost the stream (last %q)", last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if live.Err() != nil {
+		t.Fatalf("live client died: %v", live.Err())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	const clients = 8
+	const opsPer = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(dom store.DomID) {
+			defer wg.Done()
+			c, err := Dial("unix", sock, dom, "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			base := store.DomainPath(dom)
+			for j := 0; j < opsPer; j++ {
+				p := fmt.Sprintf("%s/k%d", base, j%5)
+				if err := c.Write(p, fmt.Sprint(j)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Read(p); err != nil {
+					errs <- err
+					return
+				}
+				if j%10 == 0 {
+					txn, err := c.Begin()
+					if err != nil {
+						errs <- err
+						return
+					}
+					txn.Write(p, "txn")
+					if err := txn.Commit(); err != nil && !errors.Is(err, store.ErrConflict) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(store.DomID(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client error: %v", err)
+	}
+}
+
+func TestWireTraceRecords(t *testing.T) {
+	srv, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	if err := c.Write(store.DomainPath(3)+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	var wireOps, wireConns uint64
+	srv.Do(func(st *store.Store) {
+		wireOps = srv.rec.Count(trace.KindWireOp)
+		wireConns = srv.rec.Count(trace.KindWireConn)
+	})
+	if wireOps == 0 {
+		t.Error("no wire.op trace records")
+	}
+	if wireConns == 0 {
+		t.Error("no wire.conn trace records")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	if err := c.Write(store.DomainPath(3)+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if ctr.Accepted == 0 || ctr.Active == 0 || ctr.StoreWrites == 0 {
+		t.Fatalf("counters look empty: %+v", ctr)
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	e := &enc{}
+	e.op(OpWrite, 7)
+	e.str("/a/b")
+	e.str("value")
+	e.u64(123456789)
+	e.u8(3)
+	d := &dec{b: e.b}
+	if got := Op(d.u8()); got != OpWrite {
+		t.Fatalf("op = %v", got)
+	}
+	if got := d.u32(); got != 7 {
+		t.Fatalf("id = %d", got)
+	}
+	if got := d.str(); got != "/a/b" {
+		t.Fatalf("str = %q", got)
+	}
+	if got := d.str(); got != "value" {
+		t.Fatalf("str = %q", got)
+	}
+	if got := d.u64(); got != 123456789 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := d.u8(); got != 3 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if err := d.done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	// Truncation is an error, not a panic.
+	d2 := &dec{b: e.b[:3]}
+	d2.u8()
+	d2.u32()
+	if d2.err == nil {
+		t.Fatal("truncated decode did not error")
+	}
+}
+
+func TestStatusErrorMapping(t *testing.T) {
+	cases := []error{
+		store.ErrNoEntry, store.ErrPermission, store.ErrConflict,
+		store.ErrBadPath, ErrUnknownTxn, ErrAuth, ErrBadRequest,
+	}
+	for _, want := range cases {
+		st := statusOf(fmt.Errorf("wrapped: %w", want))
+		back := errOf(st, "ctx")
+		if !errors.Is(back, want) {
+			t.Errorf("round trip of %v through status %d lost identity (got %v)", want, st, back)
+		}
+	}
+	if statusOf(nil) != StatusOK || errOf(StatusOK, "") != nil {
+		t.Error("nil error mapping broken")
+	}
+}

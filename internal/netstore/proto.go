@@ -1,0 +1,353 @@
+// Package netstore puts the IOrchestra system store on the wire: a
+// binary, length-prefixed request/reply protocol (over TCP or Unix
+// sockets) exposing the full store.Store surface — reads, writes,
+// permission grants, optimistic transactions and *streaming* watch
+// notifications — so guests, tools and load generators can run
+// out-of-process and off-host while Dom0 keeps the authoritative tree.
+//
+// The paper's collaboration channel is XenStore crossed between
+// protection domains; netstore is that boundary made explicit. A
+// per-connection handshake binds the socket to a store.DomID, and the
+// server evaluates every operation with the existing permission model
+// (internal/store), so a guest on the wire can do exactly what a guest
+// in-process can do and nothing more. Each connection owns a bounded
+// outbound event queue with slow-client coalescing and eviction, so one
+// stalled guest cannot wedge watch fan-out for everyone else.
+//
+// docs/WIRE_PROTOCOL.md is the normative frame-layout and semantics
+// reference. Unlike every simulation package, netstore deals in real
+// sockets and real deadlines; it is exempt from the iorchestra-vet
+// determinism pass (docs/LINTING.md).
+package netstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"iorchestra/internal/store"
+)
+
+// Protocol constants. A frame is a uint32 big-endian payload length
+// followed by the payload; the payload starts with a one-byte opcode and
+// a uint32 request id (0 for server-initiated event frames).
+const (
+	// Magic opens every handshake request ("IORS").
+	Magic uint32 = 0x494F5253
+	// ProtocolVersion is bumped on incompatible frame-layout changes.
+	ProtocolVersion uint8 = 1
+	// MaxFrame bounds any single frame; larger frames poison the
+	// connection (snapshot replies of big trees are the sizing case).
+	MaxFrame = 16 << 20
+	// MaxPath bounds a store path on the wire.
+	MaxPath = 4 << 10
+	// MaxValue bounds a store value on the wire.
+	MaxValue = 256 << 10
+)
+
+// Op is a wire opcode.
+type Op uint8
+
+// Opcodes. OpReply and OpEvent flow server→client; everything else is a
+// client request.
+const (
+	OpHandshake Op = 1
+	OpReply     Op = 2
+	OpEvent     Op = 3
+
+	OpRead   Op = 4
+	OpWrite  Op = 5
+	OpRemove Op = 6
+	OpList   Op = 7
+	OpGrant  Op = 8
+	OpExists Op = 9
+
+	OpWatch   Op = 10
+	OpUnwatch Op = 11
+
+	OpTxnBegin  Op = 12
+	OpTxnRead   Op = 13
+	OpTxnWrite  Op = 14
+	OpTxnRemove Op = 15
+	OpTxnCommit Op = 16
+	OpTxnAbort  Op = 17
+
+	OpSnapshot Op = 18
+	OpStats    Op = 19
+	OpPing     Op = 20
+)
+
+// String names the opcode for traces and diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpHandshake:
+		return "handshake"
+	case OpReply:
+		return "reply"
+	case OpEvent:
+		return "event"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRemove:
+		return "remove"
+	case OpList:
+		return "list"
+	case OpGrant:
+		return "grant"
+	case OpExists:
+		return "exists"
+	case OpWatch:
+		return "watch"
+	case OpUnwatch:
+		return "unwatch"
+	case OpTxnBegin:
+		return "txn.begin"
+	case OpTxnRead:
+		return "txn.read"
+	case OpTxnWrite:
+		return "txn.write"
+	case OpTxnRemove:
+		return "txn.remove"
+	case OpTxnCommit:
+		return "txn.commit"
+	case OpTxnAbort:
+		return "txn.abort"
+	case OpSnapshot:
+		return "snapshot"
+	case OpStats:
+		return "stats"
+	case OpPing:
+		return "ping"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is the result code carried in every reply.
+type Status uint8
+
+// Statuses map one-to-one onto the store's error taxonomy plus the
+// wire-only failure modes.
+const (
+	StatusOK         Status = 0
+	StatusNoEntry    Status = 1
+	StatusPermission Status = 2
+	StatusConflict   Status = 3
+	StatusBadPath    Status = 4
+	StatusBadRequest Status = 5
+	StatusUnknownTxn Status = 6
+	StatusAuth       Status = 7
+	StatusInternal   Status = 8
+)
+
+// Wire-only errors surfaced to clients.
+var (
+	// ErrAuth is returned when the handshake token is rejected.
+	ErrAuth = errors.New("netstore: authentication failed")
+	// ErrBadRequest is returned for malformed or oversized requests.
+	ErrBadRequest = errors.New("netstore: bad request")
+	// ErrUnknownTxn is returned for operations on an unknown (or already
+	// finished) transaction id.
+	ErrUnknownTxn = errors.New("netstore: unknown transaction")
+	// ErrClosed is returned by client operations after the connection is
+	// gone.
+	ErrClosed = errors.New("netstore: connection closed")
+	// ErrTimeout is returned when a request exceeds the client's timeout.
+	ErrTimeout = errors.New("netstore: request timed out")
+)
+
+// statusOf maps a store (or wire) error to its wire status.
+func statusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, store.ErrNoEntry):
+		return StatusNoEntry
+	case errors.Is(err, store.ErrPermission):
+		return StatusPermission
+	case errors.Is(err, store.ErrConflict):
+		return StatusConflict
+	case errors.Is(err, store.ErrBadPath):
+		return StatusBadPath
+	case errors.Is(err, ErrUnknownTxn):
+		return StatusUnknownTxn
+	case errors.Is(err, ErrAuth):
+		return StatusAuth
+	case errors.Is(err, ErrBadRequest):
+		return StatusBadRequest
+	default:
+		return StatusInternal
+	}
+}
+
+// errOf reconstructs a client-side error from a reply status so that
+// errors.Is(err, store.ErrNoEntry) and friends keep working across the
+// wire; msg carries the server's rendering for diagnostics.
+func errOf(st Status, msg string) error {
+	base := func(b error) error {
+		if msg == "" {
+			return b
+		}
+		return fmt.Errorf("%w: %s", b, msg)
+	}
+	switch st {
+	case StatusOK:
+		return nil
+	case StatusNoEntry:
+		return base(store.ErrNoEntry)
+	case StatusPermission:
+		return base(store.ErrPermission)
+	case StatusConflict:
+		return base(store.ErrConflict)
+	case StatusBadPath:
+		return base(store.ErrBadPath)
+	case StatusUnknownTxn:
+		return base(ErrUnknownTxn)
+	case StatusAuth:
+		return base(ErrAuth)
+	case StatusBadRequest:
+		return base(ErrBadRequest)
+	default:
+		return fmt.Errorf("netstore: server error: %s", msg)
+	}
+}
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// enc builds a payload. The zero value is ready to use.
+type enc struct{ b []byte }
+
+func (e *enc) op(o Op, id uint32) *enc {
+	e.b = append(e.b, byte(o))
+	e.u32(id)
+	return e
+}
+func (e *enc) u8(v uint8) *enc { e.b = append(e.b, v); return e }
+func (e *enc) u32(v uint32) *enc {
+	e.b = binary.BigEndian.AppendUint32(e.b, v)
+	return e
+}
+func (e *enc) u64(v uint64) *enc {
+	e.b = binary.BigEndian.AppendUint64(e.b, v)
+	return e
+}
+func (e *enc) str(s string) *enc {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+// dec consumes a payload; the first decode error sticks and zero values
+// flow from then on, so call sites check err once at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated frame", ErrBadRequest)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	v := string(d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+// path decodes a string and applies the wire path bound.
+func (d *dec) path() string {
+	s := d.str()
+	if d.err == nil && len(s) > MaxPath {
+		d.err = fmt.Errorf("%w: path of %d bytes exceeds MaxPath", ErrBadRequest, len(s))
+	}
+	return s
+}
+
+// value decodes a string and applies the wire value bound.
+func (d *dec) value() string {
+	s := d.str()
+	if d.err == nil && len(s) > MaxValue {
+		d.err = fmt.Errorf("%w: value of %d bytes exceeds MaxValue", ErrBadRequest, len(s))
+	}
+	return s
+}
+
+// done errors unless the payload was fully consumed.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadRequest, len(d.b))
+	}
+	return nil
+}

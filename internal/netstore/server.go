@@ -1,0 +1,928 @@
+package netstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iorchestra/internal/fault"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+	"iorchestra/internal/trace"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// NotifyQueue bounds the number of *watch events* queued per
+	// connection (replies are demand-bounded and do not count). When the
+	// queue is full, a newer event for the same (watch, path) replaces the
+	// queued one (coalescing, latest value wins — XenStore semantics); an
+	// event that cannot coalesce evicts the connection. Default 1024.
+	NotifyQueue int
+	// WriteTimeout evicts a connection whose socket cannot absorb one
+	// frame within the window — the slow-client backstop for peers that
+	// read just enough to keep the queue from overflowing. Default 2s.
+	WriteTimeout time.Duration
+	// Dom0Token, when non-empty, is required in the handshake to bind a
+	// connection to Dom0. Guest domains authenticate by reachability
+	// alone, as on a XenBus transport.
+	Dom0Token string
+	// TraceCapacity sizes the server's decision-trace ring
+	// (default trace.DefaultRecorderCapacity).
+	TraceCapacity int
+	// MaxTxns bounds concurrently open transactions per connection.
+	// Default 64.
+	MaxTxns int
+	// Faults is a PR 2 fault-grammar spec (fault.ParseSpec) applied to the
+	// server's store: stalewrite/watchdrop/watchdelay clauses exercise
+	// clients against a misbehaving store. Empty disables injection.
+	Faults string
+	// FaultSeed seeds the injector's deterministic stream (default 1).
+	FaultSeed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NotifyQueue <= 0 {
+		o.NotifyQueue = 1024
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.MaxTxns <= 0 {
+		o.MaxTxns = 64
+	}
+	return o
+}
+
+// Counters is a snapshot of the server's wire-level accounting, returned
+// by OpStats as JSON (and by Server.Counters in-process).
+type Counters struct {
+	Accepted  uint64 `json:"accepted"`
+	Active    uint64 `json:"active"`
+	Evicted   uint64 `json:"evicted"`
+	Events    uint64 `json:"events"`
+	Coalesced uint64 `json:"coalesced"`
+
+	StoreReads    uint64 `json:"store_reads"`
+	StoreWrites   uint64 `json:"store_writes"`
+	StoreNotifies uint64 `json:"store_notifies"`
+
+	FaultDroppedWrites   uint64 `json:"fault_dropped_writes,omitempty"`
+	FaultDroppedNotifies uint64 `json:"fault_dropped_notifies,omitempty"`
+	FaultDelayedNotifies uint64 `json:"fault_delayed_notifies,omitempty"`
+}
+
+// Server hosts a store.Store behind the wire protocol. Create with
+// NewServer, attach listeners with Serve, stop with Close.
+//
+// The store keeps its single-goroutine discipline: every operation is a
+// closure executed by one store-loop goroutine, which then drains the
+// private simulation kernel so watch notifications scheduled by the
+// operation are delivered (and fanned out to connections) before the
+// next operation runs. Connection reader/writer goroutines never touch
+// the store directly.
+type Server struct {
+	k    *sim.Kernel
+	st   *store.Store
+	rec  *trace.Recorder
+	opts Options
+
+	ops  chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[*srvConn]struct{}
+	closed    bool
+	nextConn  uint64
+
+	accepted  atomic.Uint64
+	evicted   atomic.Uint64
+	events    atomic.Uint64
+	coalesced atomic.Uint64
+
+	subMu sync.Mutex
+	subs  map[chan []byte]struct{}
+}
+
+// NewServer builds a server around a fresh store. The store lives on a
+// private simulation kernel with zero notification latency: virtual time
+// only orders deliveries; the wire provides the real latency. A non-empty
+// Options.Faults spec must parse, or NewServer panics: a store silently
+// running without its requested faults would invalidate any soak result.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	k := sim.NewKernel()
+	st := store.New(k, 0)
+	rec := trace.NewRecorder(k, opts.TraceCapacity)
+	st.SetRecorder(rec)
+	if opts.Faults != "" {
+		spec, err := fault.ParseSpec(opts.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("netstore: bad fault spec: %v", err))
+		}
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		inj := fault.NewInjector(k, spec, stats.NewStream(seed, "netstore/faults"))
+		inj.SetRecorder(rec)
+		if hooks := inj.StoreHooks(); hooks != nil {
+			st.SetFaultHooks(hooks)
+		}
+	}
+	s := &Server{
+		k:     k,
+		st:    st,
+		rec:   rec,
+		opts:  opts,
+		ops:   make(chan func()),
+		quit:  make(chan struct{}),
+		conns: map[*srvConn]struct{}{},
+		subs:  map[chan []byte]struct{}{},
+	}
+	rec.SetSink(s.broadcast)
+	s.wg.Add(1)
+	go s.storeLoop()
+	return s
+}
+
+// Kernel exposes the server's private simulation kernel, the clock a
+// fault.Injector must be built on so watchdelay draws have a timeline to
+// land in. Schedule work on it only via Do.
+func (s *Server) Kernel() *sim.Kernel { return s.k }
+
+// Do runs fn on the store-loop goroutine with exclusive access to the
+// store, then drains any watch deliveries it scheduled. It is how
+// out-of-band wiring (fault hooks, seeding) composes with the server.
+// It reports false without running fn if the server is closed.
+func (s *Server) Do(fn func(st *store.Store)) bool {
+	return s.do(func() { fn(s.st) })
+}
+
+func (s *Server) storeLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case fn := <-s.ops:
+			fn()
+			s.k.Run()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// do submits fn to the store loop and waits for it (plus the watch
+// deliveries it triggers) to finish.
+func (s *Server) do(fn func()) bool {
+	done := make(chan struct{})
+	select {
+	case s.ops <- func() { fn(); close(done) }:
+		<-done
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+// Serve accepts connections on l until the listener or server closes.
+// It blocks; run one goroutine per listener.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.startConn(c)
+	}
+}
+
+func (s *Server) startConn(c net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.nextConn++
+	sc := &srvConn{
+		srv:     s,
+		c:       c,
+		id:      s.nextConn,
+		watches: map[uint32]store.WatchID{},
+		txns:    map[uint32]*store.Txn{},
+	}
+	sc.qcond = sync.NewCond(&sc.qmu)
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.wg.Add(2)
+	go sc.readLoop()
+	go sc.writeLoop()
+}
+
+// Close stops the listeners, evicts every connection and terminates the
+// store loop. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	listeners := s.listeners
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Counters snapshots the wire + store accounting.
+func (s *Server) Counters() Counters {
+	var ctr Counters
+	ctr.Accepted = s.accepted.Load()
+	ctr.Evicted = s.evicted.Load()
+	ctr.Events = s.events.Load()
+	ctr.Coalesced = s.coalesced.Load()
+	s.mu.Lock()
+	ctr.Active = uint64(len(s.conns))
+	s.mu.Unlock()
+	s.Do(func(st *store.Store) {
+		ctr.StoreReads, ctr.StoreWrites, ctr.StoreNotifies = st.Stats()
+		ctr.FaultDroppedWrites, ctr.FaultDroppedNotifies, ctr.FaultDelayedNotifies = st.FaultStats()
+	})
+	return ctr
+}
+
+// --- Live trace streaming ---------------------------------------------------
+
+// broadcast is the recorder sink: it runs on the store loop, so it only
+// marshals and hands off; subscribers that cannot keep up lose records.
+func (s *Server) broadcast(rec trace.Record) {
+	s.subMu.Lock()
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err == nil {
+		line = append(line, '\n')
+		for ch := range s.subs {
+			select {
+			case ch <- line:
+			default: // slow trace subscriber: drop, never block the store
+			}
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// ServeTrace streams NDJSON trace records to every connection accepted
+// on l (the iorchestra-trace live-tail endpoint). It blocks like Serve.
+func (s *Server) ServeTrace(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go s.serveTraceConn(c)
+	}
+}
+
+func (s *Server) serveTraceConn(c net.Conn) {
+	defer s.wg.Done()
+	defer c.Close()
+	ch := make(chan []byte, 1024)
+	s.subMu.Lock()
+	s.subs[ch] = struct{}{}
+	s.subMu.Unlock()
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subs, ch)
+		s.subMu.Unlock()
+	}()
+	// Drain reads so a closing peer is noticed even while idle.
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				c.Close()
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case line := <-ch:
+			if s.opts.WriteTimeout > 0 {
+				c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			if _, err := c.Write(line); err != nil {
+				return
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// --- Per-connection state ---------------------------------------------------
+
+type eventKey struct {
+	watch uint32
+	path  string
+}
+
+type outFrame struct {
+	payload []byte
+	isEvent bool
+	key     eventKey
+}
+
+type srvConn struct {
+	srv *Server
+	c   net.Conn
+	id  uint64
+
+	// dom is bound by the handshake and read-only afterwards.
+	dom       store.DomID
+	handshook bool
+
+	// Outbound queue: writer goroutine pops from the front; reader and
+	// store-loop goroutines push. qbase is the absolute index of q[0] so
+	// evIdx (event key -> absolute index) survives pops.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	q       []outFrame
+	qbase   int
+	nEvents int
+	evIdx   map[eventKey]int
+	qclosed bool
+
+	closeOnce sync.Once
+	// dead flips when the connection is torn down (evicted or closed); it
+	// makes eviction accounting idempotent — the queue-overflow evict and
+	// the write error it provokes in writeLoop must count once.
+	dead atomic.Bool
+
+	// watches and txns are touched only inside store-loop closures.
+	watches map[uint32]store.WatchID
+	txns    map[uint32]*store.Txn
+	nextTxn uint32
+}
+
+// shutdown tears the connection down; safe from any goroutine, any number
+// of times.
+func (c *srvConn) shutdown() {
+	c.closeOnce.Do(func() {
+		c.dead.Store(true)
+		c.qmu.Lock()
+		c.qclosed = true
+		c.qcond.Broadcast()
+		c.qmu.Unlock()
+		c.c.Close()
+	})
+}
+
+// enqueue appends a reply frame; replies are bounded by the peer's
+// outstanding requests, so they bypass the notify-queue cap.
+func (c *srvConn) enqueue(payload []byte) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.qclosed {
+		return
+	}
+	c.q = append(c.q, outFrame{payload: payload})
+	c.qcond.Signal()
+}
+
+// enqueueEvent appends a watch-event frame under the notify-queue bound.
+// On overflow, a queued event for the same (watch, path) is replaced by
+// the newer value; if nothing coalesces the connection is evicted. It
+// reports whether the connection survived.
+func (c *srvConn) enqueueEvent(key eventKey, payload []byte) bool {
+	c.qmu.Lock()
+	if c.qclosed {
+		c.qmu.Unlock()
+		return false
+	}
+	if c.nEvents >= c.srv.opts.NotifyQueue {
+		if abs, ok := c.evIdx[key]; ok && abs >= c.qbase {
+			c.q[abs-c.qbase].payload = payload
+			c.qmu.Unlock()
+			c.srv.coalesced.Add(1)
+			return true
+		}
+		c.qmu.Unlock()
+		// Called from watch delivery on the store loop, so the eviction
+		// trace is recorded directly rather than via do().
+		c.evict("notify queue overflow", true)
+		return false
+	}
+	if c.evIdx == nil {
+		c.evIdx = map[eventKey]int{}
+	}
+	c.q = append(c.q, outFrame{payload: payload, isEvent: true, key: key})
+	c.evIdx[key] = c.qbase + len(c.q) - 1
+	c.nEvents++
+	c.qcond.Signal()
+	c.qmu.Unlock()
+	c.srv.events.Add(1)
+	return true
+}
+
+// evict severs a connection that cannot keep up. onStoreLoop must be true
+// when the caller already holds the store loop (watch delivery), where a
+// do() round trip would self-deadlock.
+func (c *srvConn) evict(reason string, onStoreLoop bool) {
+	if !c.dead.CompareAndSwap(false, true) {
+		c.shutdown()
+		return
+	}
+	c.shutdown()
+	c.srv.evicted.Add(1)
+	rec := trace.Record{Kind: trace.KindWireConn, Dom: int(c.dom), Value: "evict", Path: reason}
+	if onStoreLoop {
+		c.srv.rec.Record(rec)
+	} else {
+		c.srv.do(func() { c.srv.rec.Record(rec) })
+	}
+}
+
+func (c *srvConn) writeLoop() {
+	defer c.srv.wg.Done()
+	for {
+		c.qmu.Lock()
+		for len(c.q) == 0 && !c.qclosed {
+			c.qcond.Wait()
+		}
+		if c.qclosed {
+			c.qmu.Unlock()
+			return
+		}
+		fr := c.q[0]
+		c.q[0] = outFrame{}
+		c.q = c.q[1:]
+		c.qbase++
+		if fr.isEvent {
+			c.nEvents--
+			if abs, ok := c.evIdx[fr.key]; ok && abs == c.qbase-1 {
+				delete(c.evIdx, fr.key)
+			}
+		}
+		c.qmu.Unlock()
+		if wt := c.srv.opts.WriteTimeout; wt > 0 {
+			c.c.SetWriteDeadline(time.Now().Add(wt))
+		}
+		if err := writeFrame(c.c, fr.payload); err != nil {
+			c.evict("write stall: "+err.Error(), false)
+			return
+		}
+	}
+}
+
+func (c *srvConn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		c.shutdown()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+		// Tear down store-side state (watches, open transactions).
+		dom, hs := c.dom, c.handshook
+		c.srv.do(func() {
+			for _, id := range c.watches {
+				c.srv.st.Unwatch(id)
+			}
+			c.watches = map[uint32]store.WatchID{}
+			for _, txn := range c.txns {
+				txn.Abort()
+			}
+			c.txns = map[uint32]*store.Txn{}
+			if hs {
+				c.srv.rec.Record(trace.Record{Kind: trace.KindWireConn, Dom: int(dom), Value: "close"})
+			}
+		})
+	}()
+	if err := c.handshake(); err != nil {
+		return
+	}
+	for {
+		payload, err := readFrame(c.c)
+		if err != nil {
+			return
+		}
+		d := &dec{b: payload}
+		op := Op(d.u8())
+		id := d.u32()
+		if d.err != nil {
+			return // unframeable garbage: drop the connection
+		}
+		c.handle(op, id, d)
+	}
+}
+
+// reply builds a reply frame: status, message, then op-specific body.
+func reply(id uint32, err error, body func(*enc)) []byte {
+	e := &enc{}
+	e.op(OpReply, id)
+	st := statusOf(err)
+	e.u8(uint8(st))
+	if err != nil {
+		e.str(err.Error())
+	} else {
+		e.str("")
+	}
+	if body != nil && err == nil {
+		body(e)
+	}
+	return e.b
+}
+
+// handshake reads and answers the binding frame. Its replies go straight
+// to the socket, not through the outbound queue: nothing else can be
+// queued yet (requests and watches require a completed handshake), and a
+// rejection must reach the peer before the connection closes.
+func (c *srvConn) handshake() error {
+	payload, err := readFrame(c.c)
+	if err != nil {
+		return err
+	}
+	d := &dec{b: payload}
+	op := Op(d.u8())
+	id := d.u32()
+	magic := d.u32()
+	ver := d.u8()
+	dom := store.DomID(d.u32())
+	token := d.str()
+	refuse := func(cause error) error {
+		if wt := c.srv.opts.WriteTimeout; wt > 0 {
+			c.c.SetWriteDeadline(time.Now().Add(wt))
+		}
+		writeFrame(c.c, reply(id, cause, nil))
+		return cause
+	}
+	if err := d.done(); err != nil || op != OpHandshake || magic != Magic {
+		return refuse(fmt.Errorf("%w: malformed handshake", ErrBadRequest))
+	}
+	if ver != ProtocolVersion {
+		return refuse(fmt.Errorf("%w: protocol version %d (want %d)", ErrBadRequest, ver, ProtocolVersion))
+	}
+	if dom == store.Dom0 && c.srv.opts.Dom0Token != "" && token != c.srv.opts.Dom0Token {
+		return refuse(fmt.Errorf("%w: dom0 token rejected", ErrAuth))
+	}
+	c.dom = dom
+	c.handshook = true
+	var version uint64
+	if !c.srv.do(func() {
+		c.srv.st.AddDomain(dom)
+		version = c.srv.st.Version()
+		c.srv.rec.Record(trace.Record{Kind: trace.KindWireConn, Dom: int(dom), Value: "connect"})
+	}) {
+		return ErrClosed
+	}
+	if wt := c.srv.opts.WriteTimeout; wt > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	if err := writeFrame(c.c, reply(id, nil, func(e *enc) { e.u64(version) })); err != nil {
+		return err
+	}
+	c.c.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// handle decodes and executes one request on the store loop, then queues
+// the reply. Malformed bodies produce StatusBadRequest rather than
+// dropping the connection, so one bad client request stays diagnosable.
+func (c *srvConn) handle(op Op, id uint32, d *dec) {
+	var out []byte
+	run := func(path string, fn func() (func(*enc), error)) {
+		ok := c.srv.do(func() {
+			c.srv.rec.Record(trace.Record{
+				Kind: trace.KindWireOp, Dom: int(c.dom), Path: path, Value: op.String(),
+			})
+			body, err := fn()
+			out = reply(id, err, body)
+		})
+		if !ok {
+			out = reply(id, ErrClosed, nil)
+		}
+	}
+	switch op {
+	case OpPing:
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		out = reply(id, nil, nil)
+
+	case OpRead:
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			v, err := c.srv.st.Read(c.dom, path)
+			return func(e *enc) { e.str(v) }, err
+		})
+
+	case OpWrite:
+		path := d.path()
+		value := d.value()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			return nil, c.srv.st.Write(c.dom, path, value)
+		})
+
+	case OpRemove:
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			return nil, c.srv.st.Remove(c.dom, path)
+		})
+
+	case OpList:
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			names, err := c.srv.st.List(c.dom, path)
+			return func(e *enc) {
+				e.u32(uint32(len(names)))
+				for _, n := range names {
+					e.str(n)
+				}
+			}, err
+		})
+
+	case OpGrant:
+		path := d.path()
+		target := store.DomID(d.u32())
+		perm := store.Perm(d.u8())
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			return nil, c.srv.st.Grant(c.dom, path, target, perm)
+		})
+
+	case OpExists:
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			v := uint8(0)
+			if c.srv.st.Exists(path) {
+				v = 1
+			}
+			return func(e *enc) { e.u8(v) }, nil
+		})
+
+	case OpWatch:
+		cwid := d.u32()
+		prefix := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(prefix, func() (func(*enc), error) {
+			if _, dup := c.watches[cwid]; dup {
+				return nil, fmt.Errorf("%w: watch id %d in use", ErrBadRequest, cwid)
+			}
+			wid, err := c.srv.st.Watch(c.dom, prefix, func(path, value string) {
+				ev := &enc{}
+				ev.op(OpEvent, 0)
+				ev.u32(cwid)
+				ev.str(path)
+				ev.str(value)
+				c.enqueueEvent(eventKey{watch: cwid, path: path}, ev.b)
+			})
+			if err == nil {
+				c.watches[cwid] = wid
+			}
+			return nil, err
+		})
+
+	case OpUnwatch:
+		cwid := d.u32()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run("", func() (func(*enc), error) {
+			if wid, ok := c.watches[cwid]; ok {
+				c.srv.st.Unwatch(wid)
+				delete(c.watches, cwid)
+			}
+			return nil, nil
+		})
+
+	case OpTxnBegin:
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run("", func() (func(*enc), error) {
+			if len(c.txns) >= c.srv.opts.MaxTxns {
+				return nil, fmt.Errorf("%w: %d transactions already open", ErrBadRequest, len(c.txns))
+			}
+			c.nextTxn++
+			tid := c.nextTxn
+			c.txns[tid] = c.srv.st.Begin(c.dom)
+			return func(e *enc) { e.u32(tid) }, nil
+		})
+
+	case OpTxnRead:
+		tid := d.u32()
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			txn, ok := c.txns[tid]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, tid)
+			}
+			v, err := txn.Read(path)
+			return func(e *enc) { e.str(v) }, err
+		})
+
+	case OpTxnWrite:
+		tid := d.u32()
+		path := d.path()
+		value := d.value()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			txn, ok := c.txns[tid]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, tid)
+			}
+			return nil, txn.Write(path, value)
+		})
+
+	case OpTxnRemove:
+		tid := d.u32()
+		path := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(path, func() (func(*enc), error) {
+			txn, ok := c.txns[tid]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, tid)
+			}
+			return nil, txn.Remove(path)
+		})
+
+	case OpTxnCommit:
+		tid := d.u32()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run("", func() (func(*enc), error) {
+			txn, ok := c.txns[tid]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, tid)
+			}
+			delete(c.txns, tid)
+			return nil, txn.Commit()
+		})
+
+	case OpTxnAbort:
+		tid := d.u32()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run("", func() (func(*enc), error) {
+			txn, ok := c.txns[tid]
+			if !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, tid)
+			}
+			delete(c.txns, tid)
+			txn.Abort()
+			return nil, nil
+		})
+
+	case OpSnapshot:
+		root := d.path()
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		run(root, func() (func(*enc), error) {
+			type pair struct{ p, v string }
+			var pairs []pair
+			c.snapshotWalk(root, func(p, v string) {
+				pairs = append(pairs, pair{p, v})
+			})
+			version := c.srv.st.Version()
+			return func(e *enc) {
+				e.u64(version)
+				e.u32(uint32(len(pairs)))
+				for _, kv := range pairs {
+					e.str(kv.p)
+					e.str(kv.v)
+				}
+			}, nil
+		})
+
+	case OpStats:
+		if err := d.done(); err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		// Counters itself round-trips through the store loop; build the
+		// reply outside run to avoid a self-deadlock.
+		blob, err := json.Marshal(c.srv.Counters())
+		if err != nil {
+			out = reply(id, err, nil)
+			break
+		}
+		out = reply(id, nil, func(e *enc) { e.str(string(blob)) })
+
+	default:
+		out = reply(id, fmt.Errorf("%w: opcode %d", ErrBadRequest, uint8(op)), nil)
+	}
+	c.enqueue(out)
+}
+
+// snapshotWalk emits every node at or below root readable by the
+// connection's domain, in deterministic (sorted-children) order. Runs on
+// the store loop.
+func (c *srvConn) snapshotWalk(root string, emit func(path, value string)) {
+	if v, err := c.srv.st.Read(c.dom, root); err == nil {
+		emit(root, v)
+	}
+	names, err := c.srv.st.List(c.dom, root)
+	if err != nil {
+		return
+	}
+	base := root
+	if base != "/" {
+		base += "/"
+	}
+	for _, name := range names {
+		c.snapshotWalk(base+name, emit)
+	}
+}

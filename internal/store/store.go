@@ -472,6 +472,12 @@ func (s *Store) Stats() (reads, writes, notifies uint64) {
 	return s.reads, s.writes, s.notifies
 }
 
+// Version reports the store's global mutation counter: it advances on
+// every applied Write or Remove. Snapshot bootstrap (internal/netstore)
+// pairs a tree walk with the version so a reconnecting client knows how
+// stale its copy is.
+func (s *Store) Version() uint64 { return s.version }
+
 // --- Typed convenience helpers -------------------------------------------
 
 // WriteInt writes an integer value.

@@ -65,6 +65,11 @@ func (t *Txn) Write(path, value string) error {
 	}
 	if _, ok := t.writeSet[path]; !ok {
 		t.order = append(t.order, path)
+	}
+	// Record the version only if this is the first touch: a write after a
+	// read must validate against the version the read observed, or a
+	// read-modify-write racing another commit would silently lose it.
+	if _, ok := t.readSet[path]; !ok {
 		t.readSet[path] = t.versionOf(path)
 	}
 	v := value
@@ -82,6 +87,8 @@ func (t *Txn) Remove(path string) error {
 	}
 	if _, ok := t.writeSet[path]; !ok {
 		t.order = append(t.order, path)
+	}
+	if _, ok := t.readSet[path]; !ok {
 		t.readSet[path] = t.versionOf(path)
 	}
 	t.writeSet[path] = nil

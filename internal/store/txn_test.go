@@ -1,0 +1,289 @@
+package store
+
+// Transaction edge cases: read-your-writes, conflict windows on every
+// shape of outside mutation, pre-validated permission failures leaving
+// no partial state, and interleaved retry loops racing a shared counter.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"iorchestra/internal/sim"
+)
+
+func txnStore(t *testing.T) (*sim.Kernel, *Store) {
+	t.Helper()
+	k := sim.NewKernel()
+	s := New(k, 0)
+	s.AddDomain(3)
+	return k, s
+}
+
+func mustWrite(t *testing.T, s *Store, dom DomID, path, value string) {
+	t.Helper()
+	if err := s.Write(dom, path, value); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/a", "old")
+
+	txn := s.Begin(3)
+	if err := txn.Write(base+"/a", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := txn.Read(base + "/a"); err != nil || v != "new" {
+		t.Fatalf("buffered write not visible: %q, %v", v, err)
+	}
+	// The underlying store must still hold the old value pre-commit.
+	if v, _ := s.Read(3, base+"/a"); v != "old" {
+		t.Fatalf("uncommitted write leaked: %q", v)
+	}
+	if err := txn.Remove(base + "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Read(base + "/a"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("buffered removal should read as absent, got %v", err)
+	}
+	// Last buffered op wins: write after remove resurrects the key.
+	if err := txn.Write(base+"/a", "again"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(3, base+"/a"); v != "again" {
+		t.Fatalf("want final buffered value applied, got %q", v)
+	}
+}
+
+func TestTxnConflictWhenReadKeyChanges(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/k", "1")
+
+	txn := s.Begin(3)
+	if _, err := txn.Read(base + "/k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(base+"/other", "x"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 3, base+"/k", "2") // outside write invalidates the read
+	if err := txn.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if s.Exists(base + "/other") {
+		t.Fatal("conflicted commit applied a buffered write")
+	}
+}
+
+func TestTxnConflictWhenReadKeyRemoved(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/k", "1")
+
+	txn := s.Begin(3)
+	if _, err := txn.Read(base + "/k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(3, base+"/k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict after outside removal, got %v", err)
+	}
+}
+
+func TestTxnConflictWhenAbsentKeyCreated(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+
+	txn := s.Begin(3)
+	if _, err := txn.Read(base + "/new"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("want ErrNoEntry on absent read, got %v", err)
+	}
+	mustWrite(t, s, 3, base+"/new", "created") // appears mid-transaction
+	if err := txn.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("absence is part of the read set; want ErrConflict, got %v", err)
+	}
+}
+
+func TestTxnWriteWriteConflictAndRetry(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/n", "0")
+
+	txn := s.Begin(3)
+	if err := txn.Write(base+"/n", "10"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, s, 3, base+"/n", "5")
+	if err := txn.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want write-write ErrConflict, got %v", err)
+	}
+	// The canonical retry: a fresh transaction over the new state wins.
+	retry := s.Begin(3)
+	v, err := retry.Read(base + "/n")
+	if err != nil || v != "5" {
+		t.Fatalf("retry read: %q, %v", v, err)
+	}
+	if err := retry.Write(base+"/n", v+"0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := retry.Commit(); err != nil {
+		t.Fatalf("retry commit: %v", err)
+	}
+	if v, _ := s.Read(3, base+"/n"); v != "50" {
+		t.Fatalf("retry result: %q", v)
+	}
+}
+
+func TestTxnRemoveAbsentIsNoop(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	txn := s.Begin(3)
+	if err := txn.Remove(base + "/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("removing an absent node must commit cleanly, got %v", err)
+	}
+}
+
+func TestTxnPermissionFailureAppliesNothing(t *testing.T) {
+	_, s := txnStore(t)
+	s.AddDomain(4)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/mine", "old")
+
+	txn := s.Begin(3)
+	if err := txn.Write(base+"/mine", "new"); err != nil {
+		t.Fatal(err)
+	}
+	// Second buffered write targets dom4's subtree: commit must
+	// pre-validate and reject WITHOUT applying the first write.
+	if err := txn.Write(DomainPath(4)+"/theirs", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrPermission) {
+		t.Fatalf("want ErrPermission, got %v", err)
+	}
+	if v, _ := s.Read(3, base+"/mine"); v != "old" {
+		t.Fatalf("partial application after permission failure: %q", v)
+	}
+}
+
+func TestTxnFinishedTransactionRejectsEverything(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	txn := s.Begin(3)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("double commit must error")
+	}
+	if _, err := txn.Read(base + "/a"); err == nil {
+		t.Fatal("read on finished txn must error")
+	}
+	if err := txn.Write(base+"/a", "x"); err == nil {
+		t.Fatal("write on finished txn must error")
+	}
+	if err := txn.Remove(base + "/a"); err == nil {
+		t.Fatal("remove on finished txn must error")
+	}
+	aborted := s.Begin(3)
+	aborted.Abort()
+	if err := aborted.Commit(); err == nil {
+		t.Fatal("commit after abort must error")
+	}
+}
+
+func TestTxnDisjointInterleavedCommits(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	a, b := s.Begin(3), s.Begin(3)
+	if err := a.Write(base+"/a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(base+"/b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("txn a: %v", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("txn b (disjoint keys): %v", err)
+	}
+}
+
+// TestTxnConcurrentRetryLoops runs goroutine retry loops incrementing
+// one shared counter. Store access is serialized by a mutex (the
+// single-goroutine discipline a store loop provides), but transactions
+// stay open ACROSS the serialization boundary, so commits genuinely
+// race each other's read sets. Every increment must land exactly once —
+// under -race this also proves Txn keeps no hidden shared state.
+func TestTxnConcurrentRetryLoops(t *testing.T) {
+	_, s := txnStore(t)
+	base := DomainPath(3)
+	mustWrite(t, s, 3, base+"/counter", "0")
+
+	const workers = 8
+	const increments = 25
+	var mu sync.Mutex
+	conflicts := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				for {
+					mu.Lock()
+					txn := s.Begin(3)
+					v, err := txn.Read(base + "/counter")
+					mu.Unlock()
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					var n int
+					fmt.Sscanf(v, "%d", &n)
+					runtime.Gosched() // widen the conflict window
+					mu.Lock()
+					err = txn.Write(base+"/counter", fmt.Sprint(n+1))
+					if err == nil {
+						err = txn.Commit()
+					}
+					if errors.Is(err, ErrConflict) {
+						conflicts++
+						mu.Unlock()
+						continue
+					}
+					mu.Unlock()
+					if err != nil {
+						t.Errorf("commit: %v", err)
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := s.Read(3, base+"/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(workers * increments); v != want {
+		t.Fatalf("lost increments: counter %s, want %s (%d conflicts retried)", v, want, conflicts)
+	}
+	t.Logf("counter %s after %d conflict retries", v, conflicts)
+}

@@ -99,6 +99,14 @@ const (
 	// KindFallbackExit is a guest restored to collaborative mode; Value
 	// names the trigger ("driver-registered", "heartbeat-resumed").
 	KindFallbackExit Kind = "fallback.exit"
+
+	// KindWireOp is a netstore wire operation executed by the store
+	// server: Dom is the connection's bound domain, Value names the opcode
+	// and Path the operand (docs/WIRE_PROTOCOL.md).
+	KindWireOp Kind = "wire.op"
+	// KindWireConn is a netstore connection lifecycle event: Value is
+	// "connect", "close" or "evict" (slow-client eviction).
+	KindWireConn Kind = "wire.conn"
 )
 
 // Record is one decision-trace event. The zero value of every optional
@@ -212,6 +220,11 @@ type Recorder struct {
 	// devLat[dom] aggregates dev.complete host-path latencies, the feed
 	// for per-run metrics summaries.
 	devLat map[int]*metrics.Histogram
+
+	// sink, when set, observes every record synchronously after it is
+	// stamped — the feed for live NDJSON streaming (netstore's trace
+	// endpoint). It runs on the recording goroutine and must not block.
+	sink func(Record)
 }
 
 // DefaultRecorderCapacity bounds the event ring when no capacity is given.
@@ -251,7 +264,16 @@ func (r *Recorder) Record(rec Record) {
 	if r.head == 0 {
 		r.full = true
 	}
+	if r.sink != nil {
+		r.sink(rec)
+	}
 }
+
+// SetSink installs (or, with nil, removes) a function observing every
+// stamped record as it is recorded. The sink runs synchronously on the
+// recording goroutine; a slow sink slows recording, so implementations
+// hand records off (e.g. to a buffered channel) rather than doing I/O.
+func (r *Recorder) SetSink(fn func(Record)) { r.sink = fn }
 
 // Recorded reports the lifetime number of records (>= len(Events())).
 func (r *Recorder) Recorded() uint64 { return r.seq }
@@ -425,6 +447,8 @@ var summaryKinds = []struct {
 	{KindFallbackExit, "restores"},
 	{KindStoreWrite, "store writes"},
 	{KindStoreWatch, "watch fires"},
+	{KindWireOp, "wire ops"},
+	{KindWireConn, "wire conns"},
 }
 
 // Format renders the summary as the per-domain decision report the
