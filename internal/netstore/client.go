@@ -1,6 +1,7 @@
 package netstore
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,8 +22,18 @@ import (
 // goroutines; watch callbacks are delivered sequentially by a dedicated
 // dispatcher goroutine, and may themselves issue Client operations.
 type Client struct {
-	c   net.Conn
+	c net.Conn
+	// br buffers inbound frames: the reply stream is read by exactly one
+	// goroutine (handshake, then readLoop), so pipelined replies cost one
+	// read syscall instead of two per frame.
+	br  *bufio.Reader
 	dom store.DomID
+
+	// proto is the protocol version the handshake negotiated: the server
+	// answers min(requested, its max), so a new client against an old
+	// server lands on v1 and transparently loses batching and sync
+	// (Batch falls back to sequential calls, Mirror.Sync to Snapshot).
+	proto uint8
 
 	// storeVersion is the server's version counter at handshake.
 	storeVersion uint64
@@ -60,20 +71,45 @@ type clientEvent struct {
 const DefaultTimeout = 30 * time.Second
 
 // Dial connects to an iorchestra-stored endpoint ("tcp" or "unix") and
-// performs the handshake binding the connection to dom. token is
-// required only when dom is Dom0 and the server enforces a token.
+// performs the handshake binding the connection to dom, negotiating the
+// newest protocol both ends speak. An old (v1-only) server refuses the
+// v2 hello outright — old binaries knew no other answer — so Dial
+// redials once pinned to v1; the resulting client works against every
+// server version. token is required only when dom is Dom0 and the
+// server enforces a token.
 func Dial(network, addr string, dom store.DomID, token string) (*Client, error) {
+	c, err := DialVersion(network, addr, dom, token, ProtocolVersion)
+	if err != nil && errors.Is(err, ErrBadRequest) && ProtocolVersion > ProtocolV1 {
+		return DialVersion(network, addr, dom, token, ProtocolV1)
+	}
+	return c, err
+}
+
+// DialVersion is Dial pinned to one requested protocol version, with no
+// fallback redial. Version-negotiation tests use it to stand in for an
+// old client (ver == ProtocolV1).
+func DialVersion(network, addr string, dom store.DomID, token string, ver uint8) (*Client, error) {
 	nc, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc, dom, token)
+	return NewClientVersion(nc, dom, token, ver)
 }
 
-// NewClient performs the handshake over an established connection.
+// NewClient performs the handshake over an established connection,
+// requesting the newest protocol. Against an old server this fails with
+// ErrBadRequest (the caller owns the socket, so no redial is possible);
+// use Dial for transparent fallback or NewClientVersion to pin v1.
 func NewClient(nc net.Conn, dom store.DomID, token string) (*Client, error) {
+	return NewClientVersion(nc, dom, token, ProtocolVersion)
+}
+
+// NewClientVersion performs the handshake over an established
+// connection, requesting protocol version ver.
+func NewClientVersion(nc net.Conn, dom store.DomID, token string, ver uint8) (*Client, error) {
 	c := &Client{
 		c:        nc,
+		br:       bufio.NewReaderSize(nc, 16<<10),
 		dom:      dom,
 		pending:  map[uint32]chan *dec{},
 		watchFns: map[uint32]func(path, value string){},
@@ -86,14 +122,14 @@ func NewClient(nc net.Conn, dom store.DomID, token string) (*Client, error) {
 	e := &enc{}
 	e.op(OpHandshake, 1)
 	e.u32(Magic)
-	e.u8(ProtocolVersion)
+	e.u8(ver)
 	e.u32(uint32(dom))
 	e.str(token)
 	if err := writeFrame(nc, e.b); err != nil {
 		nc.Close()
 		return nil, err
 	}
-	payload, err := readFrame(nc)
+	payload, err := readFrame(c.br)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -109,10 +145,21 @@ func NewClient(nc net.Conn, dom store.DomID, token string) (*Client, error) {
 		nc.Close()
 		return nil, rerr
 	}
+	// A v1 hello gets the bare v1 reply (u64 version); a v2+ hello gets
+	// the accepted version first. Old servers never accept a v2+ hello,
+	// so the layouts cannot be confused.
+	c.proto = ProtocolV1
+	if ver >= ProtocolV2 {
+		c.proto = d.u8()
+	}
 	c.storeVersion = d.u64()
 	if err := d.done(); err != nil {
 		nc.Close()
 		return nil, err
+	}
+	if c.proto < ProtocolV1 || c.proto > ver {
+		nc.Close()
+		return nil, fmt.Errorf("%w: server negotiated impossible version %d", ErrBadRequest, c.proto)
 	}
 	go c.readLoop()
 	go c.dispatchLoop()
@@ -121,6 +168,10 @@ func NewClient(nc net.Conn, dom store.DomID, token string) (*Client, error) {
 
 // ID reports the domain this connection is bound to.
 func (c *Client) ID() store.DomID { return c.dom }
+
+// Proto reports the negotiated protocol version (ProtocolV1 against an
+// old server).
+func (c *Client) Proto() uint8 { return c.proto }
 
 // ServerVersion reports the store's mutation counter as of the
 // handshake, the anchor for Snapshot-based catch-up.
@@ -168,7 +219,7 @@ func (c *Client) fail(err error) {
 
 func (c *Client) readLoop() {
 	for {
-		payload, err := readFrame(c.c)
+		payload, err := readFrame(c.br)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			close(c.events)
@@ -229,13 +280,14 @@ func (c *Client) rpc(build func(e *enc, id uint32)) (*dec, error) {
 	c.nextReq++
 	id := c.nextReq
 	c.pending[id] = ch
-	e := &enc{}
+	e := &enc{b: getBuf(64)}
 	build(e, id)
 	// Frames must hit the socket in pending-registration order, so the
 	// write stays under reqMu; net.Conn writes are safe but interleaving
 	// is on us.
 	err := writeFrame(c.c, e.b)
 	c.reqMu.Unlock()
+	putBuf(e.b)
 	if err != nil {
 		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 		return nil, c.Err()
@@ -502,10 +554,12 @@ func DialStalled(network, addr string, dom store.DomID, prefix string) (net.Conn
 		return nil, err
 	}
 	fail := func(e error) (net.Conn, error) { nc.Close(); return nil, e }
+	// A v1 hello works against every server version and keeps the reply
+	// layout fixed, which is all a deliberately wedged client needs.
 	hs := &enc{}
 	hs.op(OpHandshake, 1)
 	hs.u32(Magic)
-	hs.u8(ProtocolVersion)
+	hs.u8(ProtocolV1)
 	hs.u32(uint32(dom))
 	hs.str("")
 	if err := writeFrame(nc, hs.b); err != nil {

@@ -339,10 +339,12 @@ func runParityLocal(t *testing.T) []string {
 }
 
 // runParityWire drives the identical exchange with both actors on
-// netstore clients against a live server.
-func runParityWire(t *testing.T) []string {
+// netstore clients against a live server. opts configures the server
+// (sharding, protocol cap); guestVer/mgrVer pin each client's protocol
+// version so mixed v1/v2 fleets can be exercised.
+func runParityWire(t *testing.T, opts netstore.Options, guestVer, mgrVer uint8) []string {
 	t.Helper()
-	srv := netstore.NewServer(netstore.Options{})
+	srv := netstore.NewServer(opts)
 	t.Cleanup(srv.Close)
 	sock := filepath.Join(t.TempDir(), "parity.sock")
 	l, err := net.Listen("unix", sock)
@@ -351,12 +353,12 @@ func runParityWire(t *testing.T) []string {
 	}
 	go srv.Serve(l)
 
-	gc, err := netstore.Dial("unix", sock, parityGuestDom, "")
+	gc, err := netstore.DialVersion("unix", sock, parityGuestDom, "", guestVer)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { gc.Close() })
-	mc, err := netstore.Dial("unix", sock, store.Dom0, "")
+	mc, err := netstore.DialVersion("unix", sock, store.Dom0, "", mgrVer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,19 +412,11 @@ func runParityWire(t *testing.T) []string {
 
 // TestWireDecisionParity is the Algorithm 1–3 decision-parity acceptance
 // test: the combined guest+manager decision log must be line-identical
-// across the in-process store and the wire.
+// across the in-process store and the wire — on every protocol and
+// server shape the fleet can negotiate (v2, legacy v1 both sides, a
+// mixed v1/v2 fleet, and a sharded server).
 func TestWireDecisionParity(t *testing.T) {
 	local := runParityLocal(t)
-	wire := runParityWire(t)
-	if len(local) != len(wire) {
-		t.Fatalf("decision counts diverge: local %d, wire %d\nlocal:\n%s\nwire:\n%s",
-			len(local), len(wire), strings.Join(local, "\n"), strings.Join(wire, "\n"))
-	}
-	for i := range local {
-		if local[i] != wire[i] {
-			t.Fatalf("decision %d diverges:\n  local: %s\n  wire:  %s", i, local[i], wire[i])
-		}
-	}
 	// The run must exercise every branch, or parity proves nothing.
 	joined := strings.Join(local, "\n")
 	for _, want := range []string{
@@ -433,6 +427,31 @@ func TestWireDecisionParity(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("scenario never hit %q; decisions:\n%s", want, joined)
 		}
+	}
+	for _, tc := range []struct {
+		name             string
+		opts             netstore.Options
+		guestVer, mgrVer uint8
+	}{
+		{"v2", netstore.Options{}, netstore.ProtocolV2, netstore.ProtocolV2},
+		{"v1-fleet", netstore.Options{}, netstore.ProtocolV1, netstore.ProtocolV1},
+		{"mixed-fleet", netstore.Options{}, netstore.ProtocolV1, netstore.ProtocolV2},
+		{"v1-capped-server", netstore.Options{MaxProtocol: netstore.ProtocolV1}, netstore.ProtocolV1, netstore.ProtocolV1},
+		{"sharded", netstore.Options{Shards: 4}, netstore.ProtocolV2, netstore.ProtocolV2},
+		{"sharded-mixed", netstore.Options{Shards: 4}, netstore.ProtocolV2, netstore.ProtocolV1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := runParityWire(t, tc.opts, tc.guestVer, tc.mgrVer)
+			if len(local) != len(wire) {
+				t.Fatalf("decision counts diverge: local %d, wire %d\nlocal:\n%s\nwire:\n%s",
+					len(local), len(wire), strings.Join(local, "\n"), strings.Join(wire, "\n"))
+			}
+			for i := range local {
+				if local[i] != wire[i] {
+					t.Fatalf("decision %d diverges:\n  local: %s\n  wire:  %s", i, local[i], wire[i])
+				}
+			}
+		})
 	}
 }
 

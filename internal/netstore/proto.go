@@ -10,12 +10,51 @@
 // per-connection handshake binds the socket to a store.DomID, and the
 // server evaluates every operation with the existing permission model
 // (internal/store), so a guest on the wire can do exactly what a guest
-// in-process can do and nothing more. Each connection owns a bounded
-// outbound event queue with slow-client coalescing and eviction, so one
-// stalled guest cannot wedge watch fan-out for everyone else.
+// in-process can do and nothing more.
+//
+// # Protocol generations
+//
+// The handshake negotiates a protocol version downward (ProtocolV1 or
+// ProtocolV2), so either end may be old. V2 adds two frame kinds on top
+// of the unchanged per-op layouts: OpBatch carries up to MaxBatchOps
+// sub-ops and their replies in one round trip (the Batch builder falls
+// back to sequential per-op frames on a v1 connection, so callers never
+// branch on version), and OpSync resynchronizes a subtree from a
+// hash-versioned snapshot — a reconnecting Mirror presents its last
+// (version, content hash) and receives "match" (one small frame), a
+// delta since that version, or a full snapshot, in that order of
+// preference.
+//
+// # Sharding
+//
+// The server may run the store as N single-goroutine shard loops
+// (Options.Shards) behind store.Router: per-domain /local/domain/<id>
+// subtrees hash to a deterministic shard, structural paths live on
+// shard 0, and cross-shard transactions are refused rather than locked.
+// One connection goroutine dispatches to shards; a batch frame is split
+// per shard and its replies reassembled in request order.
+//
+// # Watch fan-out: delta queues, coalescing, eviction
+//
+// Each connection owns a bounded outbound event queue (Options.
+// NotifyQueue) holding the *net change per path*, not history: when an
+// event for a (watch, path) pair is already queued, the new value
+// replaces it in place (Counters.Coalesced) instead of consuming a
+// slot. Consequently the queue grows only with the client's
+// distinct-path backlog, and eviction — disconnecting the client, who
+// recovers via OpSync — happens only when a stalled client's distinct
+// watched paths exceed the queue bound. The invariants: an evicted
+// client has missed nothing it could not recover by sync; a live client
+// observes, for every path, the latest value and a value no older than
+// any later-queued path's (queue order is first-enqueue order); and one
+// stalled guest can never wedge fan-out for everyone else, because
+// enqueueing never blocks on a slow socket. Writes out of a connection
+// are flushed with syscall coalescing: queued reply and event frames
+// are merged into one pooled buffer per writeLoop wakeup.
 //
 // docs/WIRE_PROTOCOL.md is the normative frame-layout and semantics
-// reference. Unlike every simulation package, netstore deals in real
+// reference; docs/PERFORMANCE.md tracks the measured cost of all of
+// the above. Unlike every simulation package, netstore deals in real
 // sockets and real deadlines; it is exempt from the iorchestra-vet
 // determinism pass (docs/LINTING.md).
 package netstore
@@ -25,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"iorchestra/internal/store"
 )
@@ -35,8 +75,15 @@ import (
 const (
 	// Magic opens every handshake request ("IORS").
 	Magic uint32 = 0x494F5253
-	// ProtocolVersion is bumped on incompatible frame-layout changes.
-	ProtocolVersion uint8 = 1
+	// ProtocolV1 is the original protocol: one op per frame, no sync.
+	ProtocolV1 uint8 = 1
+	// ProtocolV2 adds batched frames (OpBatch) and hash-versioned
+	// subtree sync (OpSync). The per-op frame layouts are unchanged.
+	ProtocolV2 uint8 = 2
+	// ProtocolVersion is the newest protocol this package speaks. The
+	// handshake negotiates downward (docs/WIRE_PROTOCOL.md §2), so a v1
+	// peer on either end of the socket keeps working.
+	ProtocolVersion = ProtocolV2
 	// MaxFrame bounds any single frame; larger frames poison the
 	// connection (snapshot replies of big trees are the sizing case).
 	MaxFrame = 16 << 20
@@ -44,6 +91,8 @@ const (
 	MaxPath = 4 << 10
 	// MaxValue bounds a store value on the wire.
 	MaxValue = 256 << 10
+	// MaxBatchOps bounds the sub-ops a single OpBatch frame may carry.
+	MaxBatchOps = 4096
 )
 
 // Op is a wire opcode.
@@ -76,6 +125,11 @@ const (
 	OpSnapshot Op = 18
 	OpStats    Op = 19
 	OpPing     Op = 20
+
+	// Protocol v2 opcodes: a v1 connection answers both with
+	// StatusBadRequest without poisoning the connection.
+	OpBatch Op = 21
+	OpSync  Op = 22
 )
 
 // String names the opcode for traces and diagnostics.
@@ -121,10 +175,27 @@ func (o Op) String() string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpBatch:
+		return "batch"
+	case OpSync:
+		return "sync"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
+
+// Sync reply modes (OpSync, protocol v2): how the server answered a
+// subtree catch-up request, cheapest first.
+const (
+	// SyncMatch: the client's hash matches the subtree; nothing sent.
+	SyncMatch uint8 = 0
+	// SyncDelta: the mutation journal covered the client's version; the
+	// reply carries exactly the paths that moved (with removal markers).
+	SyncDelta uint8 = 1
+	// SyncFull: the client predates the journal window; the reply is a
+	// full permission-filtered subtree walk.
+	SyncFull uint8 = 2
+)
 
 // Status is the result code carried in every reply.
 type Status uint8
@@ -215,21 +286,52 @@ func errOf(st Status, msg string) error {
 	}
 }
 
-// writeFrame sends one length-prefixed payload.
+// bufPool recycles frame and payload scratch buffers across requests.
+// Oversized buffers (large snapshots) are dropped on return rather than
+// pinned in the pool.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const poolMax = 64 << 10
+
+// getBuf returns a zero-length pooled buffer with capacity ≥ n.
+func getBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	if cap(b) < n {
+		bufPool.Put(bp)
+		b = make([]byte, 0, n)
+	}
+	return b
+}
+
+// putBuf returns a buffer obtained from getBuf (or any payload the
+// caller has finished with) to the pool.
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > poolMax {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// writeFrame sends one length-prefixed payload. Header and payload are
+// combined into one pooled buffer so each frame costs a single Write —
+// on the hot path that halves the syscalls per round trip.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := getBuf(4 + len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	putBuf(buf)
 	return err
 }
 
-// readFrame reads one length-prefixed payload.
+// readFrame reads one length-prefixed payload into a fresh buffer. Use
+// readFrameReuse on per-connection read loops where the payload is fully
+// consumed before the next read.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -244,6 +346,30 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// readFrameReuse reads one length-prefixed payload into buf, growing it
+// as needed, and returns the payload slice (aliasing buf) plus the
+// possibly grown buffer for the next call. The payload is only valid
+// until the next read — callers must finish decoding (dec copies string
+// bytes out) before reading again.
+func readFrameReuse(r io.Reader, buf []byte) (payload, next []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, buf, err
+	}
+	return payload, buf, nil
 }
 
 // enc builds a payload. The zero value is ready to use.

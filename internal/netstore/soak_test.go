@@ -27,11 +27,13 @@ func soakDuration() time.Duration {
 	return 1500 * time.Millisecond
 }
 
-// TestSoakConcurrentClientsWithFaults runs 8 guest clients against a
-// server whose store drops 5% of notifications and delays 20% of the
-// rest — the PR 2 fault grammar composed onto the wire path. Live
-// clients must survive: no protocol errors, no evictions, and every
-// client still answers a round trip at the end.
+// TestSoakConcurrentClientsWithFaults runs 8 guest clients — a mixed
+// fleet, half pinned to protocol v1 and half on v2 issuing batched
+// frames — against a sharded server whose store drops 5% of
+// notifications and delays 20% of the rest: the PR 2 fault grammar
+// composed onto the wire path. Live clients must survive: no protocol
+// errors, no evictions, and every client still answers a round trip at
+// the end.
 func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak skipped in -short")
@@ -39,6 +41,7 @@ func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	srv := netstore.NewServer(netstore.Options{
 		NotifyQueue:  256,
 		WriteTimeout: time.Second,
+		Shards:       2,
 		Faults:       "watchdrop=0.05,watchdelay=2ms:0.2",
 		FaultSeed:    paritySeed,
 	})
@@ -57,10 +60,15 @@ func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	errs := make(chan error, nClients)
 	for i := 0; i < nClients; i++ {
 		dom := store.DomID(i + 1)
+		// Mixed fleet: even domains speak v1, odd domains v2 with batches.
+		ver := uint8(netstore.ProtocolV2)
+		if i%2 == 0 {
+			ver = netstore.ProtocolV1
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := netstore.Dial("unix", sock, dom, "")
+			c, err := netstore.DialVersion("unix", sock, dom, "", ver)
 			if err != nil {
 				errs <- fmt.Errorf("dom%d dial: %w", dom, err)
 				return
@@ -83,13 +91,27 @@ func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 			for n := 0; time.Now().Before(deadline); n++ {
 				key := fmt.Sprintf("%s/k%d", base, n%keysPerDom)
 				var err error
-				switch n % 5 {
+				switch n % 6 {
 				case 0, 1:
 					err = c.Write(key, fmt.Sprint(n))
 				case 2:
 					_, err = c.Read(key)
 				case 3:
 					_, err = c.List(base)
+				case 5:
+					// Batched frame on v2 connections, sequential fallback
+					// on the v1 half of the fleet — same result contract.
+					res, berr := c.NewBatch().
+						Write(key, fmt.Sprintf("b%d", n)).
+						Read(key).
+						Exists(base).
+						Run()
+					err = berr
+					for _, r := range res {
+						if err == nil && r.Err != nil {
+							err = r.Err
+						}
+					}
 				case 4:
 					txn, terr := c.Begin()
 					if terr != nil {
@@ -163,6 +185,12 @@ func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	}
 	if ctr.FaultDroppedNotifies == 0 && ctr.FaultDelayedNotifies == 0 {
 		t.Errorf("fault injection never fired: %+v", ctr)
+	}
+	if ctr.Batches == 0 {
+		t.Error("soak issued no batched frames (v2 half of the fleet idle?)")
+	}
+	if ctr.Shards != 2 {
+		t.Errorf("soak ran on %d shards, want 2", ctr.Shards)
 	}
 	t.Logf("soak counters: %+v", ctr)
 }

@@ -1,0 +1,557 @@
+package netstore
+
+// Protocol v2 surface: version negotiation, batched frames, delta-watch
+// sync, and the sharded server — the ISSUE 6 hot-path rework. In-package
+// so negotiation tests can assert on wire-level details (c.proto) and
+// sharded tests can reach shard internals via Do.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"iorchestra/internal/store"
+)
+
+func dialVersionT(t *testing.T, sock string, dom store.DomID, ver uint8) *Client {
+	t.Helper()
+	c, err := DialVersion("unix", sock, dom, "", ver)
+	if err != nil {
+		t.Fatalf("dial v%d dom%d: %v", ver, dom, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// --- Version negotiation -----------------------------------------------------
+
+func TestNegotiationModernPair(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	if c.Proto() != ProtocolV2 {
+		t.Fatalf("negotiated v%d, want v%d", c.Proto(), ProtocolV2)
+	}
+}
+
+func TestNegotiationV1ClientNewServer(t *testing.T) {
+	// An old binary sends the v1 hello and expects the v1 reply layout;
+	// the new server must serve it bit-compatibly.
+	_, sock := startServer(t, Options{})
+	c := dialVersionT(t, sock, 3, ProtocolV1)
+	if c.Proto() != ProtocolV1 {
+		t.Fatalf("negotiated v%d, want v1", c.Proto())
+	}
+	base := store.DomainPath(3)
+	if err := c.Write(base+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(base + "/k")
+	if err != nil || got != "v" {
+		t.Fatalf("read over v1 = %q, %v", got, err)
+	}
+	// v2-only ops must be refused, not crash the connection.
+	if _, err := c.SyncSubtree(base, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("sync on v1 err = %v, want ErrBadRequest", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unhealthy after refused sync: %v", err)
+	}
+}
+
+func TestNegotiationNewClientOldServer(t *testing.T) {
+	// A v1-capped server refuses the v2 hello; Dial must transparently
+	// redial pinned to v1.
+	_, sock := startServer(t, Options{MaxProtocol: ProtocolV1})
+	c := dialT(t, sock, 3)
+	if c.Proto() != ProtocolV1 {
+		t.Fatalf("fallback negotiated v%d, want v1", c.Proto())
+	}
+	if err := c.Write(store.DomainPath(3)+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// A pinned v2 dial against the same server must surface the refusal.
+	if _, err := DialVersion("unix", sock, 4, "", ProtocolV2); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("pinned v2 dial err = %v, want ErrBadRequest", err)
+	}
+}
+
+// --- Batched frames ----------------------------------------------------------
+
+func TestBatchAllOps(t *testing.T) {
+	srv, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+
+	res, err := c.NewBatch().
+		Write(base+"/a", "1").
+		Write(base+"/b/deep", "2").
+		Read(base+"/a").
+		Exists(base+"/b").
+		Exists(base+"/nope").
+		List(base).
+		Grant(base+"/a", 4, store.PermRead).
+		Ping().
+		Read(base + "/missing"). // per-op error, not a batch error
+		Remove(base + "/a").
+		Run()
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results, want 10", len(res))
+	}
+	for i, r := range res[:8] {
+		if r.Err != nil {
+			t.Fatalf("op %d err = %v", i, r.Err)
+		}
+	}
+	if res[2].Value != "1" {
+		t.Errorf("batched read = %q", res[2].Value)
+	}
+	if !res[3].Present || res[4].Present {
+		t.Errorf("batched exists = %v/%v, want true/false", res[3].Present, res[4].Present)
+	}
+	wantNames := []string{"a", "b"}
+	if !sort.StringsAreSorted(res[5].Names) || len(res[5].Names) != 2 ||
+		res[5].Names[0] != wantNames[0] || res[5].Names[1] != wantNames[1] {
+		t.Errorf("batched list = %v, want %v", res[5].Names, wantNames)
+	}
+	if !errors.Is(res[8].Err, store.ErrNoEntry) {
+		t.Errorf("batched missing read err = %v, want ErrNoEntry", res[8].Err)
+	}
+	if res[9].Err != nil {
+		t.Errorf("batched remove err = %v", res[9].Err)
+	}
+	if ok, _ := c.Exists(base + "/a"); ok {
+		t.Error("batched remove did not take effect")
+	}
+
+	ctr := srv.Counters()
+	if ctr.Batches != 1 || ctr.BatchOps != 10 {
+		t.Errorf("counters = %d batches / %d ops, want 1/10", ctr.Batches, ctr.BatchOps)
+	}
+}
+
+func TestBatchEmptyAndOversize(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	if res, err := c.NewBatch().Run(); err != nil || res != nil {
+		t.Fatalf("empty batch = %v, %v", res, err)
+	}
+	b := c.NewBatch()
+	for i := 0; i <= MaxBatchOps; i++ {
+		b.Ping()
+	}
+	if _, err := b.Run(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversize batch err = %v, want ErrBadRequest", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unhealthy: %v", err)
+	}
+}
+
+func TestBatchV1Fallback(t *testing.T) {
+	srv, sock := startServer(t, Options{})
+	c := dialVersionT(t, sock, 3, ProtocolV1)
+	base := store.DomainPath(3)
+	res, err := c.NewBatch().
+		Write(base+"/k", "v").
+		Read(base + "/k").
+		Read(base + "/missing").
+		Run()
+	if err != nil {
+		t.Fatalf("fallback batch: %v", err)
+	}
+	if res[0].Err != nil || res[1].Value != "v" || !errors.Is(res[2].Err, store.ErrNoEntry) {
+		t.Fatalf("fallback results wrong: %+v", res)
+	}
+	if ctr := srv.Counters(); ctr.Batches != 0 {
+		t.Fatalf("v1 fallback must not reach the batch op (batches=%d)", ctr.Batches)
+	}
+}
+
+func TestBatchCrossShard(t *testing.T) {
+	srv, sock := startServer(t, Options{Shards: 4})
+	c := dialT(t, sock, store.Dom0)
+	b := c.NewBatch()
+	for dom := 1; dom <= 8; dom++ {
+		b.Write(fmt.Sprintf("%s/k", store.DomainPath(store.DomID(dom))), fmt.Sprint(dom))
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatalf("cross-shard batch: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	// Results must come back in request order even though shards execute
+	// their groups independently.
+	b = c.NewBatch()
+	for dom := 1; dom <= 8; dom++ {
+		b.Read(fmt.Sprintf("%s/k", store.DomainPath(store.DomID(dom))))
+	}
+	res, err = b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Value != fmt.Sprint(i+1) {
+			t.Fatalf("read %d = %q, %v; want %d", i, r.Value, r.Err, i+1)
+		}
+	}
+	if ctr := srv.Counters(); ctr.Shards != 4 || ctr.BatchOps != 16 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+// --- Delta sync and Mirror ---------------------------------------------------
+
+func TestSyncModes(t *testing.T) {
+	srv, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+	for i := 0; i < 4; i++ {
+		if err := c.Write(fmt.Sprintf("%s/k%d", base, i), fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := c.NewMirror(base)
+	mode, err := m.Sync()
+	if err != nil || mode != SyncFull {
+		t.Fatalf("bootstrap sync = mode %d, %v; want full", mode, err)
+	}
+	if v, ok := m.Get(base + "/k2"); !ok || v != "2" {
+		t.Fatalf("mirror k2 = %q, %v", v, ok)
+	}
+
+	// Unchanged subtree: hash match, no payload.
+	mode, err = m.Sync()
+	if err != nil || mode != SyncMatch {
+		t.Fatalf("idle sync = mode %d, %v; want match", mode, err)
+	}
+
+	// Small change: delta with exactly the touched paths.
+	if err := c.Write(base+"/k1", "changed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(base + "/k3"); err != nil {
+		t.Fatal(err)
+	}
+	mode, err = m.Sync()
+	if err != nil || mode != SyncDelta {
+		t.Fatalf("delta sync = mode %d, %v; want delta", mode, err)
+	}
+	if v, _ := m.Get(base + "/k1"); v != "changed" {
+		t.Fatalf("mirror missed delta: k1 = %q", v)
+	}
+	if _, ok := m.Get(base + "/k3"); ok {
+		t.Fatal("mirror did not prune removed key")
+	}
+
+	// Whole-subtree removal prunes by prefix.
+	if err := c.Write(base+"/sub/x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(base+"/sub/y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(base + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if mode, err = m.Sync(); err != nil || mode != SyncDelta {
+		t.Fatalf("post-remove sync = mode %d, %v", mode, err)
+	}
+	for _, p := range []string{base + "/sub", base + "/sub/x", base + "/sub/y"} {
+		if _, ok := m.Get(p); ok {
+			t.Fatalf("mirror kept pruned node %s", p)
+		}
+	}
+
+	ctr := srv.Counters()
+	if ctr.SyncFulls == 0 || ctr.SyncMatches == 0 || ctr.SyncDeltas == 0 {
+		t.Fatalf("sync mode counters = %+v", ctr)
+	}
+}
+
+func TestSyncJournalOverflowFallsBackToFull(t *testing.T) {
+	srv, sock := startServer(t, Options{})
+	srv.Do(func(st *store.Store) { st.SetJournalCap(8) })
+	c := dialT(t, sock, 3)
+	base := store.DomainPath(3)
+	if err := c.Write(base+"/seed", "1"); err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMirror(base)
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Blow past the journal window so the mirror's anchor is evicted.
+	for i := 0; i < 64; i++ {
+		if err := c.Write(fmt.Sprintf("%s/k%d", base, i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode, err := m.Sync()
+	if err != nil || mode != SyncFull {
+		t.Fatalf("overflowed sync = mode %d, %v; want full", mode, err)
+	}
+	if m.Len() != 66 { // seed + 64 keys + home node
+		t.Fatalf("mirror has %d nodes, want 66", m.Len())
+	}
+	if ctr := srv.Counters(); ctr.SyncFulls < 2 {
+		t.Fatalf("expected two full syncs, counters = %+v", ctr)
+	}
+}
+
+func TestSyncDomainRecreation(t *testing.T) {
+	// Remove-then-recreate of a whole domain home must heal through the
+	// journal: the mirror prunes on the removal and re-learns the home.
+	_, sock := startServer(t, Options{})
+	c0 := dialT(t, sock, store.Dom0)
+	c := dialT(t, sock, 7)
+	base := store.DomainPath(7)
+	if err := c.Write(base+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	m := c0.NewMirror(base)
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Remove(base); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handshake for dom7 recreates the home (AddDomain).
+	c2 := dialT(t, sock, 7)
+	if err := c2.Write(base+"/k2", "back"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(base + "/k"); ok {
+		t.Fatal("mirror kept node removed with the domain")
+	}
+	if v, ok := m.Get(base + "/k2"); !ok || v != "back" {
+		t.Fatalf("mirror missed recreated key: %q, %v", v, ok)
+	}
+}
+
+func TestSyncBadRoot(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialT(t, sock, 3)
+	for _, root := range []string{"/", "/local", store.Root, store.DomainPath(3) + "/deep"} {
+		if _, err := c.SyncSubtree(root, 0, 0); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("SyncSubtree(%q) err = %v, want ErrBadRequest", root, err)
+		}
+	}
+}
+
+func TestMirrorV1FallsBackToSnapshot(t *testing.T) {
+	_, sock := startServer(t, Options{})
+	c := dialVersionT(t, sock, 3, ProtocolV1)
+	base := store.DomainPath(3)
+	if err := c.Write(base+"/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMirror(base)
+	mode, err := m.Sync()
+	if err != nil || mode != MirrorSyncedSnapshot {
+		t.Fatalf("v1 mirror sync = mode %d, %v", mode, err)
+	}
+	if v, ok := m.Get(base + "/k"); !ok || v != "v" {
+		t.Fatalf("v1 mirror k = %q, %v", v, ok)
+	}
+}
+
+// --- Sharded server ----------------------------------------------------------
+
+func TestShardedBasicOps(t *testing.T) {
+	srv, sock := startServer(t, Options{Shards: 4})
+	if srv.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d", srv.ShardCount())
+	}
+	for dom := store.DomID(1); dom <= 6; dom++ {
+		c := dialT(t, sock, dom)
+		base := store.DomainPath(dom)
+		if err := c.Write(base+"/k", fmt.Sprint(dom)); err != nil {
+			t.Fatalf("dom%d write: %v", dom, err)
+		}
+		if v, err := c.Read(base + "/k"); err != nil || v != fmt.Sprint(dom) {
+			t.Fatalf("dom%d read = %q, %v", dom, v, err)
+		}
+	}
+}
+
+func TestShardedCrossShardViews(t *testing.T) {
+	_, sock := startServer(t, Options{Shards: 3})
+	c0 := dialT(t, sock, store.Dom0)
+	doms := []store.DomID{1, 2, 3, 4, 5}
+	for _, dom := range doms {
+		if err := c0.Write(store.DomainPath(dom)+"/k", fmt.Sprint(dom)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Root list is the union across shards, sorted ("0" is Dom0's own
+	// home, created by its handshake).
+	names, err := c0.List(store.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0", "1", "2", "3", "4", "5"}
+	if len(names) != len(want) {
+		t.Fatalf("root list = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("root list = %v, want %v", names, want)
+		}
+	}
+	// Root snapshot unions every shard's view: spine + all domain trees.
+	snap, _, err := c0.Snapshot(store.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dom := range doms {
+		if v := snap[store.DomainPath(dom)+"/k"]; v != fmt.Sprint(dom) {
+			t.Fatalf("snapshot missing dom%d key: %q (snap %v)", dom, v, snap)
+		}
+	}
+	if _, ok := snap[store.Root]; !ok {
+		t.Fatal("snapshot missing structural spine")
+	}
+	// Removing a structural path on a sharded server is refused (it would
+	// tear every shard's spine at once).
+	if err := c0.Remove("/local"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("structural remove err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestShardedWatches(t *testing.T) {
+	_, sock := startServer(t, Options{Shards: 4})
+	c0 := dialT(t, sock, store.Dom0)
+	events := make(chan string, 64)
+	// A structural-prefix watch must see writes on every shard.
+	if _, err := c0.Watch(store.Root, func(path, value string) {
+		events <- path + "=" + value
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for dom := store.DomID(1); dom <= 4; dom++ {
+		clients = append(clients, dialT(t, sock, dom))
+	}
+	for i, c := range clients {
+		if err := c.Write(store.DomainPath(store.DomID(i+1))+"/k", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		got[<-events] = true
+	}
+	for dom := 1; dom <= 4; dom++ {
+		key := fmt.Sprintf("%s/k=x", store.DomainPath(store.DomID(dom)))
+		if !got[key] {
+			t.Fatalf("global watch missed %s (got %v)", key, got)
+		}
+	}
+	// A domain-prefix watch must only see its own shard's subtree.
+	dom1Events := make(chan string, 8)
+	id, err := c0.Watch(store.DomainPath(1), func(path, value string) {
+		dom1Events <- path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients[1].Write(store.DomainPath(2)+"/other", "y")
+	clients[0].Write(store.DomainPath(1)+"/mine", "z")
+	if p := <-dom1Events; p != store.DomainPath(1)+"/mine" {
+		t.Fatalf("domain watch got %s", p)
+	}
+	select {
+	case p := <-dom1Events:
+		t.Fatalf("domain watch leaked cross-domain event %s", p)
+	default:
+	}
+	c0.Unwatch(id)
+}
+
+func TestShardedTxnRejectsCrossShard(t *testing.T) {
+	_, sock := startServer(t, Options{Shards: 4})
+	c := dialT(t, sock, store.Dom0)
+	for _, dom := range []store.DomID{1, 2} {
+		if err := c.Write(store.DomainPath(dom)+"/k", "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	txn, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(store.DomainPath(1)+"/k", "a"); err != nil {
+		t.Fatalf("first txn op binds the shard: %v", err)
+	}
+	// Domain 2 lives on a different shard; the txn cannot span both.
+	if err := txn.Write(store.DomainPath(2)+"/k", "b"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("cross-shard txn op err = %v, want ErrBadRequest", err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Same-shard txns still work end to end.
+	txn, err = c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(store.DomainPath(1)+"/k", "committed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Read(store.DomainPath(1) + "/k"); v != "committed" {
+		t.Fatalf("post-commit read = %q", v)
+	}
+}
+
+func TestShardedStateParity(t *testing.T) {
+	// The same write stream applied to a 1-shard and a 4-shard server
+	// must produce identical root snapshots.
+	_, sock1 := startServer(t, Options{})
+	_, sock4 := startServer(t, Options{Shards: 4})
+	snaps := make([]map[string]string, 2)
+	for i, sock := range []string{sock1, sock4} {
+		c := dialT(t, sock, store.Dom0)
+		for dom := 1; dom <= 6; dom++ {
+			base := store.DomainPath(store.DomID(dom))
+			for k := 0; k < 8; k++ {
+				if err := c.Write(fmt.Sprintf("%s/d/k%d", base, k), fmt.Sprint(dom*100+k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Remove(base + "/d/k3"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, _, err := c.Snapshot(store.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = snap
+	}
+	if len(snaps[0]) != len(snaps[1]) {
+		t.Fatalf("snapshot sizes diverge: %d vs %d", len(snaps[0]), len(snaps[1]))
+	}
+	for p, v := range snaps[0] {
+		if snaps[1][p] != v {
+			t.Fatalf("sharded tree diverges at %s: %q vs %q", p, v, snaps[1][p])
+		}
+	}
+}

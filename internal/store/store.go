@@ -54,7 +54,12 @@ type node struct {
 	owner    DomID
 	perms    map[DomID]Perm // explicit grants beyond owner and Dom0
 	children map[string]*node
-	version  uint64
+	// sorted caches the sorted child names for List; every mutation of
+	// children must reset it to nil. Directory shape changes far less
+	// often than it is listed, so the sort happens once per change
+	// instead of once per List.
+	sorted  []string
+	version uint64
 }
 
 func (n *node) child(name string) *node {
@@ -71,6 +76,7 @@ type watch struct {
 	id     WatchID
 	dom    DomID
 	prefix []string
+	bucket string
 	fn     func(path, value string)
 }
 
@@ -87,13 +93,24 @@ type Store struct {
 	notifyLatency sim.Duration
 	version       uint64
 
-	// watchMu guards watches and nextWatch. fireWatches snapshots the
-	// table under the lock, and in-flight notifications re-check
-	// registration under it at delivery time (XenStore drops events whose
-	// watch was removed while they were queued).
-	watchMu   sync.Mutex
-	watches   map[WatchID]*watch
-	nextWatch WatchID
+	// watchMu guards watches, watchBuckets and nextWatch. fireWatches
+	// snapshots the table under the lock, and in-flight notifications
+	// re-check registration under it at delivery time (XenStore drops
+	// events whose watch was removed while they were queued).
+	watchMu sync.Mutex
+	watches map[WatchID]*watch
+	// watchBuckets indexes watches by the /local/domain/<id> subtree
+	// their prefix lives in ("" = structural prefixes that can match any
+	// path), so fan-out scans only the watches a write can possibly
+	// match instead of the whole table. Each bucket is kept in ascending
+	// id order — ids are handed out monotonically, so registration is an
+	// append — which makes the delivery order deterministic without a
+	// per-fire sort.
+	watchBuckets map[string][]*watch
+	nextWatch    WatchID
+	// matchScratch is fireWatches's reusable candidate buffer; safe
+	// because fireWatches only runs on the kernel goroutine.
+	matchScratch []*watch
 
 	// rec, when set, receives store.write and store.watch trace records.
 	rec *trace.Recorder
@@ -102,6 +119,13 @@ type Store struct {
 	// drop watch deliveries (internal/fault). Hooks run on the kernel
 	// goroutine, inside Write.
 	faults *FaultHooks
+
+	// Cheap-reconnect sync state (sync.go): rolling per-subtree content
+	// hashes plus a bounded (version, path) mutation journal.
+	subHashes      map[string]uint64
+	journal        []journalEntry
+	journalCap     int
+	evictedThrough uint64
 
 	// Stats counters exposed for overhead accounting.
 	reads, writes, notifies uint64
@@ -184,7 +208,9 @@ func DiskPath(dom DomID, disk, key string) string {
 // guest has nowhere it is allowed to write.
 func (s *Store) AddDomain(dom DomID) {
 	n := s.root
+	path := ""
 	for _, p := range []string{"local", "domain"} {
+		path += "/" + p
 		child := n.child(p)
 		if child == nil {
 			child = &node{owner: Dom0}
@@ -192,6 +218,8 @@ func (s *Store) AddDomain(dom DomID) {
 				n.children = map[string]*node{}
 			}
 			n.children[p] = child
+			n.sorted = nil
+			s.noteNode(strings.Split(path[1:], "/"), path, "")
 		}
 		n = child
 	}
@@ -201,6 +229,12 @@ func (s *Store) AddDomain(dom DomID) {
 			n.children = map[string]*node{}
 		}
 		n.children[name] = &node{owner: dom}
+		n.sorted = nil
+		home := Root + "/" + name
+		s.noteNode([]string{"local", "domain", name}, home, "")
+		// Journal the (re)created home so a client that pruned the subtree
+		// after a Remove learns it is back on its next delta sync.
+		s.journalAppend(s.version+1, home, false)
 	}
 }
 
@@ -260,7 +294,8 @@ func (s *Store) Write(dom DomID, path, value string) error {
 		return fmt.Errorf("%w: cannot write root", ErrBadPath)
 	}
 	n := s.root
-	for _, p := range parts {
+	firstCreated := -1 // index of the shallowest node this write created
+	for i, p := range parts {
 		child := n.child(p)
 		if child == nil {
 			if !canWrite(n, dom) {
@@ -271,26 +306,42 @@ func (s *Store) Write(dom DomID, path, value string) error {
 				n.children = map[string]*node{}
 			}
 			n.children[p] = child
+			n.sorted = nil
+			if firstCreated < 0 {
+				firstCreated = i
+			}
 		}
 		n = child
 	}
 	if !canWrite(n, dom) {
 		return fmt.Errorf("%w: dom%d writing %s", ErrPermission, dom, path)
 	}
+	old := n.value // "" when the leaf was just created
 	if s.faults != nil && s.faults.DropWrite != nil && s.faults.DropWrite(dom, path) {
 		// The write is acknowledged but lost: the key keeps its stale
 		// value and no watch fires, exactly a torn XenStore transaction.
+		// Created intermediates (and an empty created leaf) do persist,
+		// so they still enter the hash and journal.
 		s.faultDroppedWrites++
+		if firstCreated >= 0 {
+			s.noteCreated(parts, firstCreated, s.version+1)
+		}
 		return nil
 	}
 	s.version++
 	n.value = value
 	n.version = s.version
 	s.writes++
+	if firstCreated >= 0 {
+		s.noteCreated(parts, firstCreated, s.version)
+	}
+	s.noteNode(parts, path, old)   // fold out the prior leaf content
+	s.noteNode(parts, path, value) // fold in the new leaf content
+	s.journalAppend(s.version, path, false)
 	if s.rec != nil {
 		s.rec.Record(trace.Record{Kind: trace.KindStoreWrite, Dom: int(dom), Path: path, Value: value})
 	}
-	s.fireWatches(path, value)
+	s.fireWatches(parts, path, value)
 	return nil
 }
 
@@ -319,9 +370,14 @@ func (s *Store) Remove(dom DomID, path string) error {
 	if !canWrite(n, dom) {
 		return fmt.Errorf("%w: dom%d removing %s", ErrPermission, dom, path)
 	}
+	s.unhashSubtree(parts, path, n)
 	delete(parent.children, name)
+	parent.sorted = nil
 	s.version++
-	s.fireWatches(path, "")
+	// Journal only the subtree root, flagged as a removal: sync clients
+	// prune by prefix, even if the path is recreated later.
+	s.journalAppend(s.version, path, true)
+	s.fireWatches(parts, path, "")
 	return nil
 }
 
@@ -338,12 +394,17 @@ func (s *Store) List(dom DomID, path string) ([]string, error) {
 	if !canRead(n, dom) {
 		return nil, fmt.Errorf("%w: dom%d listing %s", ErrPermission, dom, path)
 	}
-	names := make([]string, 0, len(n.children))
-	for name := range n.children {
-		names = append(names, name)
+	if n.sorted == nil && len(n.children) > 0 {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		n.sorted = names
 	}
-	sort.Strings(names)
-	return names, nil
+	// Callers may hold the slice across mutations; hand out a copy so the
+	// cache stays private to the node.
+	return append([]string(nil), n.sorted...), nil
 }
 
 // Grant gives target the given permission on path. Only Dom0 or the node
@@ -389,7 +450,13 @@ func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (Wa
 	defer s.watchMu.Unlock()
 	s.nextWatch++
 	id := s.nextWatch
-	s.watches[id] = &watch{id: id, dom: dom, prefix: parts, fn: fn}
+	b := bucketOf(parts)
+	w := &watch{id: id, dom: dom, prefix: parts, bucket: b, fn: fn}
+	s.watches[id] = w
+	if s.watchBuckets == nil {
+		s.watchBuckets = map[string][]*watch{}
+	}
+	s.watchBuckets[b] = append(s.watchBuckets[b], w)
 	return id, nil
 }
 
@@ -397,7 +464,16 @@ func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (Wa
 func (s *Store) Unwatch(id WatchID) {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
-	delete(s.watches, id)
+	if w, ok := s.watches[id]; ok {
+		delete(s.watches, id)
+		bucket := s.watchBuckets[w.bucket]
+		for i, bw := range bucket {
+			if bw.id == id {
+				s.watchBuckets[w.bucket] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 func hasPrefix(path, prefix []string) bool {
@@ -412,26 +488,40 @@ func hasPrefix(path, prefix []string) bool {
 	return true
 }
 
-func (s *Store) fireWatches(path, value string) {
-	parts, err := split(path)
-	if err != nil {
-		return
-	}
-	// Snapshot the watch table under the lock, then match and schedule
-	// outside it so callbacks cannot deadlock against Watch/Unwatch.
+func (s *Store) fireWatches(parts []string, path, value string) {
+	// Snapshot the candidate watches under the lock, then match and
+	// schedule outside it so callbacks cannot deadlock against Watch/
+	// Unwatch. Only the path's own domain bucket plus the structural
+	// bucket can possibly match (watch prefixes in other domain buckets
+	// diverge at /local/domain/<id>), so fan-out cost tracks the watches
+	// on this subtree, not the whole table. Buckets are id-sorted, so a
+	// two-way merge yields the deterministic ascending-id delivery order
+	// with no per-fire sort; matchScratch is reused across fires (kernel
+	// goroutine only).
 	s.watchMu.Lock()
-	matched := make([]*watch, 0, len(s.watches))
-	for _, w := range s.watches {
-		matched = append(matched, w)
+	b := bucketOf(parts)
+	matched := s.matchScratch[:0]
+	db, sb := s.watchBuckets[b], s.watchBuckets[""]
+	if b == "" {
+		sb = nil // structural path: db already is the structural bucket
 	}
+	for len(db) > 0 || len(sb) > 0 {
+		if len(sb) == 0 || (len(db) > 0 && db[0].id < sb[0].id) {
+			matched, db = append(matched, db[0]), db[1:]
+		} else {
+			matched, sb = append(matched, sb[0]), sb[1:]
+		}
+	}
+	s.matchScratch = matched
 	s.watchMu.Unlock()
-	// Deterministic delivery order: ascending watch id.
-	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+	// One lookup for the whole fan-out: the node is the same for every
+	// watcher, only the per-watcher read permission differs.
+	n := s.lookup(parts)
 	for _, w := range matched {
 		if !hasPrefix(parts, w.prefix) {
 			continue
 		}
-		if n := s.lookup(parts); n != nil && !canRead(n, w.dom) {
+		if n != nil && !canRead(n, w.dom) {
 			continue
 		}
 		delay := s.notifyLatency

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the store's cheap-reconnect machinery (ISSUE 6): rolling
+// per-subtree content hashes and a bounded mutation journal. Together
+// they let a client that cached a subtree earlier catch up with a single
+// round trip — a hash match means "nothing changed, keep your copy", a
+// journal hit means "here are exactly the paths that moved", and only a
+// journal miss (the client is older than the retained window) forces the
+// full snapshot walk. internal/netstore's sync op is the wire surface;
+// docs/WIRE_PROTOCOL.md §6 documents the sequence.
+//
+// Both structures are maintained incrementally inside Write/Remove/
+// AddDomain on the kernel goroutine, so they follow the store's
+// single-goroutine discipline and stay deterministic: same operation
+// sequence, same hashes, same journal.
+
+// DefaultJournalCap bounds the mutation journal: the store retains at
+// least this many most-recent (version, path) entries. Reconnects older
+// than the retained window fall back to a full snapshot.
+const DefaultJournalCap = 4096
+
+// journalEntry records one mutated path at one store version. removed
+// marks subtree removals: a sync client must prune its copy of the
+// subtree even if the path was later recreated (remove-then-recreate
+// would otherwise leave the client holding children that died with the
+// first incarnation).
+type journalEntry struct {
+	version uint64
+	path    string
+	removed bool
+}
+
+// Delta is one journal-window change as reported by DeltasSince: a path
+// that was mutated, plus whether a subtree removal of it occurred
+// anywhere in the window (the path may exist again now).
+type Delta struct {
+	Path    string
+	Removed bool
+}
+
+// nodeHash is the per-node content hash over path and value with a
+// separator, XOR-folded into subtree hashes. XOR folding makes node
+// insertion and removal O(1): adding and removing the same (path, value)
+// cancel exactly. The hash is never persisted or compared across
+// processes — a client's remembered hash only ever meets the same
+// server's counter — so it needs collision resistance, not a fixed
+// algorithm. It mixes 8-byte words per multiply instead of FNV's
+// byte-at-a-time chain: value payloads dominate the bytes hashed on the
+// write path, and the serial multiply per byte was the single hottest
+// instruction in the store under load.
+func nodeHash(path, value string) uint64 {
+	h := mixString(14695981039346656037, path)
+	h = mixWord(h, 0xa5) // path/value separator
+	return mixString(h, value)
+}
+
+// mixWord folds one 64-bit word into the running hash (FxHash-style
+// rotate-xor-multiply).
+func mixWord(h, k uint64) uint64 {
+	h = (h<<5 | h>>59) ^ k
+	return h * 0x517cc1b727220a95
+}
+
+// mixString folds a string into the running hash 8 bytes at a time, with
+// the length folded in so "ab"+"c" and "a"+"bc" cannot collide across
+// the separator.
+func mixString(h uint64, s string) uint64 {
+	h = mixWord(h, uint64(len(s)))
+	for len(s) >= 8 {
+		k := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+			uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+		h = mixWord(h, k)
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var k uint64
+		for i := 0; i < len(s); i++ {
+			k |= uint64(s[i]) << (8 * i)
+		}
+		h = mixWord(h, k)
+	}
+	return h
+}
+
+// bucketOf maps a path (as split parts) to its hash bucket: the owning
+// /local/domain/<id> subtree root, or "" for structural nodes at or
+// above the domain level.
+func bucketOf(parts []string) string {
+	if len(parts) >= 3 && parts[0] == "local" && parts[1] == "domain" {
+		return Root + "/" + parts[2]
+	}
+	return ""
+}
+
+// noteNode folds one node's presence (or, called twice, a value change)
+// into its subtree hash.
+func (s *Store) noteNode(parts []string, path, value string) {
+	if s.subHashes == nil {
+		s.subHashes = map[string]uint64{}
+	}
+	s.subHashes[bucketOf(parts)] ^= nodeHash(path, value)
+}
+
+// noteCreated folds the freshly created empty nodes of a Write (levels
+// first..len(parts)-1 — creation cascades, so they are a suffix of the
+// chain) into their subtree hashes and journals them at version v. Only
+// runs when a write actually created nodes, so the hot path (re-writing
+// an existing key) never materializes intermediate path strings.
+func (s *Store) noteCreated(parts []string, first int, v uint64) {
+	path := ""
+	for i := 0; i < first; i++ {
+		path += "/" + parts[i]
+	}
+	for i := first; i < len(parts); i++ {
+		path += "/" + parts[i]
+		s.noteNode(parts[:i+1], path, "")
+		s.journalAppend(v, path, false)
+	}
+}
+
+// unhashSubtree folds a subtree out of the bucket hashes ahead of its
+// removal. XOR makes the traversal order irrelevant.
+func (s *Store) unhashSubtree(parts []string, path string, n *node) {
+	s.noteNode(parts, path, n.value)
+	for name, child := range n.children {
+		s.unhashSubtree(append(parts, name), path+"/"+name, child)
+	}
+}
+
+// SubtreeHash reports the rolling content hash of a subtree. root must
+// be a /local/domain/<id> subtree root (the per-domain bucket), or "/",
+// "/local" or "/local/domain" for the XOR of every bucket including the
+// structural one. Hashes cover node paths and values, not permissions.
+func (s *Store) SubtreeHash(root string) uint64 {
+	parts, err := split(root)
+	if err != nil {
+		return 0
+	}
+	if b := bucketOf(parts); b != "" {
+		if b != root {
+			return 0 // deeper than a bucket root: not tracked
+		}
+		return s.subHashes[b]
+	}
+	var h uint64
+	for _, v := range s.subHashes {
+		h ^= v
+	}
+	return h
+}
+
+// SetJournalCap resizes the retained journal window (minimum 1). It
+// applies from the next mutation on.
+func (s *Store) SetJournalCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.journalCap = n
+}
+
+// journalAppend records a mutated path (removed marks subtree
+// removals). The ring is compacted in halves so appends stay amortized
+// O(1); evictedThrough remembers how far back DeltasSince can still
+// answer.
+func (s *Store) journalAppend(version uint64, path string, removed bool) {
+	cap := s.journalCap
+	if cap <= 0 {
+		cap = DefaultJournalCap
+		s.journalCap = cap
+	}
+	if len(s.journal) >= 2*cap {
+		s.evictedThrough = s.journal[len(s.journal)-cap-1].version
+		s.journal = append(s.journal[:0], s.journal[len(s.journal)-cap:]...)
+	}
+	s.journal = append(s.journal, journalEntry{version: version, path: path, removed: removed})
+}
+
+// DeltasSince reports every path mutated after store version v, deduped
+// and sorted, with ok=false when the journal no longer covers v (the
+// caller must fall back to a full walk). A Delta's Removed flag is true
+// when any subtree removal of the path happened in the window — the
+// consumer must prune its copy before applying current state, because
+// the path may have been recreated since and its old children are gone.
+func (s *Store) DeltasSince(v uint64) (deltas []Delta, ok bool) {
+	if v < s.evictedThrough {
+		return nil, false
+	}
+	removed := map[string]bool{}
+	var paths []string
+	for _, e := range s.journal {
+		if e.version <= v {
+			continue
+		}
+		if _, dup := removed[e.path]; !dup {
+			paths = append(paths, e.path)
+		}
+		removed[e.path] = removed[e.path] || e.removed
+	}
+	// Deterministic order for wire replies and tests.
+	sort.Strings(paths)
+	deltas = make([]Delta, len(paths))
+	for i, p := range paths {
+		deltas[i] = Delta{Path: p, Removed: removed[p]}
+	}
+	return deltas, true
+}
+
+// ChangesSince is DeltasSince flattened to just the touched paths.
+func (s *Store) ChangesSince(v uint64) (paths []string, ok bool) {
+	deltas, ok := s.DeltasSince(v)
+	if !ok {
+		return nil, false
+	}
+	paths = make([]string, len(deltas))
+	for i, d := range deltas {
+		paths[i] = d.Path
+	}
+	return paths, true
+}
+
+// EnsureRoot creates the structural /local/domain chain without creating
+// any domain home, so a snapshot of the tree root has its spine before
+// the first handshake. Idempotent; netstore's shard 0 calls it at server
+// start (sharded snapshots export structural nodes from shard 0 only).
+func (s *Store) EnsureRoot() {
+	n := s.root
+	path := ""
+	for _, p := range []string{"local", "domain"} {
+		path += "/" + p
+		child := n.child(p)
+		if child == nil {
+			child = &node{owner: Dom0}
+			if n.children == nil {
+				n.children = map[string]*node{}
+			}
+			n.children[p] = child
+			n.sorted = nil
+			s.noteNode(strings.Split(path[1:], "/"), path, "")
+		}
+		n = child
+	}
+}

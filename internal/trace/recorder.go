@@ -107,6 +107,12 @@ const (
 	// KindWireConn is a netstore connection lifecycle event: Value is
 	// "connect", "close" or "evict" (slow-client eviction).
 	KindWireConn Kind = "wire.conn"
+	// KindWireBatch is one shard-group of a batched netstore frame
+	// (protocol v2): Dom is the connection's bound domain and Size the
+	// number of sub-operations the group executed in a single store-loop
+	// closure. Individual sub-ops are not recorded — the amortization is
+	// the point (docs/WIRE_PROTOCOL.md §5).
+	KindWireBatch Kind = "wire.batch"
 )
 
 // Record is one decision-trace event. The zero value of every optional
@@ -449,6 +455,7 @@ var summaryKinds = []struct {
 	{KindStoreWatch, "watch fires"},
 	{KindWireOp, "wire ops"},
 	{KindWireConn, "wire conns"},
+	{KindWireBatch, "wire batches"},
 }
 
 // Format renders the summary as the per-domain decision report the
