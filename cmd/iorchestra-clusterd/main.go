@@ -1,0 +1,399 @@
+// Command iorchestra-clusterd runs the federation control plane against
+// a real cluster store served by iorchestra-stored — the wall-clock
+// counterpart of internal/federation's in-sim registry and placement
+// (docs/CLUSTER.md is the normative reference for the key schema, the
+// heartbeat/TTL semantics and the scoring formula; all four roles below
+// share their implementation with the simulator through the
+// federation package, so a decision made here matches the simulated one
+// bit for bit).
+//
+// Roles:
+//
+//	join    register this host under /cluster/hypervisors/<id> and keep
+//	        its entry fresh with periodic heartbeats (statics republished
+//	        every beat, so an expired entry self-heals); removes the
+//	        entry on SIGINT/SIGTERM (a graceful leave)
+//	watch   stream membership transitions (join/beat/leave) to stdout
+//	expire  enforce the heartbeat TTL: remove entries whose beats
+//	        stalled — liveness enforcement is the expirer's job, exactly
+//	        one per cluster
+//	place   one-shot placement: score the registry's hosts for a guest
+//	        request with the shared engine and print the decision
+//
+// Examples:
+//
+//	iorchestra-clusterd join -store tcp://127.0.0.1:7011 -id hostA -cores 12
+//	iorchestra-clusterd watch -store tcp://127.0.0.1:7011
+//	iorchestra-clusterd expire -store tcp://127.0.0.1:7011 -ttl 3500ms
+//	iorchestra-clusterd place -store tcp://127.0.0.1:7011 \
+//	    -guest vm042 -vcpus 4 -mode permissive -bind
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"iorchestra/internal/federation"
+	"iorchestra/internal/netstore"
+	"iorchestra/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: iorchestra-clusterd <role> [flags]
+
+roles:
+  join      register and heartbeat one host (leave on SIGINT)
+  watch     stream membership transitions to stdout
+  expire    TTL-expire hosts whose heartbeats stalled
+  place     one-shot scored placement for a guest request
+
+run "iorchestra-clusterd <role> -h" for the role's flags
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "join":
+		err = cmdJoin(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
+	case "expire":
+		err = cmdExpire(os.Args[2:])
+	case "place":
+		err = cmdPlace(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "iorchestra-clusterd: unknown role %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iorchestra-clusterd:", err)
+		os.Exit(1)
+	}
+}
+
+// dial connects to the cluster store as Dom0 (the federation is a
+// privileged management module, like the in-sim LocalView).
+func dial(url, token string) (*netstore.Client, error) {
+	if addr, ok := strings.CutPrefix(url, "tcp://"); ok {
+		return netstore.Dial("tcp", addr, store.Dom0, token)
+	}
+	if path, ok := strings.CutPrefix(url, "unix://"); ok {
+		return netstore.Dial("unix", path, store.Dom0, token)
+	}
+	return nil, fmt.Errorf("store endpoint %q: want tcp://host:port or unix:///path", url)
+}
+
+// storeFlags declares the flags every role shares.
+func storeFlags(fs *flag.FlagSet) (url, token *string) {
+	url = fs.String("store", "tcp://127.0.0.1:7011", "cluster store endpoint (an iorchestra-stored -listen URL)")
+	token = fs.String("dom0-token", os.Getenv("IORCHESTRA_DOM0_TOKEN"),
+		"Dom0 bind token (default $IORCHESTRA_DOM0_TOKEN)")
+	return
+}
+
+// netView adapts a netstore connection to federation.View, so the same
+// registry/placement/migration code runs whether the cluster store is
+// an object or a socket away. The sync modes and pair layout match the
+// wire protocol's by construction (both mirror netstore OpSync).
+type netView struct{ c *netstore.Client }
+
+var _ federation.View = netView{}
+
+func (v netView) Read(path string) (string, error)   { return v.c.Read(path) }
+func (v netView) Write(path, value string) error     { return v.c.Write(path, value) }
+func (v netView) Remove(path string) error           { return v.c.Remove(path) }
+func (v netView) List(path string) ([]string, error) { return v.c.List(path) }
+func (v netView) Grant(path string, target store.DomID, perm store.Perm) error {
+	return v.c.Grant(path, target, perm)
+}
+func (v netView) Watch(prefix string, fn func(path, value string)) (store.WatchID, error) {
+	return v.c.Watch(prefix, fn)
+}
+func (v netView) Unwatch(id store.WatchID) { v.c.Unwatch(id) }
+func (v netView) SyncSubtree(root string, since, known uint64) (federation.SyncPage, error) {
+	res, err := v.c.SyncSubtree(root, since, known)
+	if err != nil {
+		return federation.SyncPage{}, err
+	}
+	page := federation.SyncPage{
+		Mode:    federation.SyncMode(res.Mode),
+		Version: res.Version,
+		Hash:    res.Hash,
+		Pairs:   make([]federation.SyncPair, 0, len(res.Pairs)),
+	}
+	for _, p := range res.Pairs {
+		page.Pairs = append(page.Pairs, federation.SyncPair{Path: p.Path, Value: p.Value, Removed: p.Removed})
+	}
+	return page, nil
+}
+
+// cmdJoin registers the host and heartbeats until a signal, then leaves
+// gracefully by removing its entry (so peers see a leave, not a TTL
+// expiry).
+func cmdJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	url, token := storeFlags(fs)
+	id := fs.String("id", "", "hypervisor id (required)")
+	class := fs.String("class", "", "domain class label (matched against a request's -class)")
+	cores := fs.Int("cores", 0, "physical cores to publish (required)")
+	interval := fs.Duration("interval", time.Second, "heartbeat interval")
+	active := fs.Int("active-vcpus", 0, "active VCPUs to publish each beat")
+	queue := fs.Int("queue-depth", 0, "queue depth to publish each beat")
+	util := fs.Float64("util", 0, "device utilization fraction to publish each beat")
+	p99 := fs.Float64("p99-ms", 0, "host-path p99 latency (ms) to publish each beat")
+	fs.Parse(args)
+	if *id == "" || *cores <= 0 {
+		return fmt.Errorf("join: -id and -cores are required")
+	}
+	c, err := dial(*url, *token)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	v := netView{c}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	fmt.Fprintf(os.Stderr, "iorchestra-clusterd: joined as %s (%d cores, every %v)\n", *id, *cores, *interval)
+	for beat := int64(1); ; beat++ {
+		// Statics ride along with every beat: a wrongly expired entry
+		// heals itself the moment the next beat lands.
+		federation.PublishHostStatics(v, *id, *class, *cores)
+		federation.PublishHostLoad(v, *id, federation.HostLoad{
+			ActiveVCPUs: *active, QueueDepth: *queue, Util: *util, P99Ms: *p99,
+		})
+		federation.PublishHeartbeat(v, *id, beat)
+		if err := c.Err(); err != nil {
+			return fmt.Errorf("join: store connection lost: %w", err)
+		}
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "iorchestra-clusterd: %v, leaving\n", s)
+			return v.Remove(store.HypervisorPath(*id))
+		case <-tick.C:
+		}
+	}
+}
+
+// cmdWatch streams membership transitions: first-heard joins, beats,
+// and entry removals (expiry or graceful leave).
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	url, token := storeFlags(fs)
+	beats := fs.Bool("beats", false, "print every heartbeat, not only transitions")
+	fs.Parse(args)
+	c, err := dial(*url, *token)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	root := store.HypervisorsPath()
+	seen := map[string]bool{} // touched only on the client's dispatch goroutine
+	for _, id := range registryHosts(netView{c}) {
+		seen[id] = true
+		fmt.Printf("%s member %s\n", time.Now().Format(time.RFC3339), id)
+	}
+	_, err = c.Watch(root, func(path, value string) {
+		now := time.Now().Format(time.RFC3339)
+		if id, ok := federation.BeatObserved(root, path); ok {
+			if !seen[id] {
+				seen[id] = true
+				fmt.Printf("%s join %s\n", now, id)
+			} else if *beats {
+				fmt.Printf("%s beat %s (#%s)\n", now, id, value)
+			}
+			return
+		}
+		if id, ok := federation.EntryRemoved(root, path, value); ok && seen[id] {
+			delete(seen, id)
+			fmt.Printf("%s leave %s\n", now, id)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+// cmdExpire enforces the heartbeat TTL: beats are stamped on arrival,
+// and a periodic sweep removes entries whose stamp aged out — the
+// wall-clock twin of Federation.sweepTick. Entries present before this
+// expirer started get a grace stamp, so a restart never mass-expires a
+// healthy cluster.
+func cmdExpire(args []string) error {
+	fs := flag.NewFlagSet("expire", flag.ExitOnError)
+	url, token := storeFlags(fs)
+	ttl := fs.Duration("ttl", 3500*time.Millisecond, "heartbeat age past which a host is dead")
+	sweep := fs.Duration("sweep", 0, "sweep cadence (default ttl/2)")
+	fs.Parse(args)
+	if *sweep <= 0 {
+		*sweep = *ttl / 2
+	}
+	c, err := dial(*url, *token)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	v := netView{c}
+
+	var mu sync.Mutex // beat stamps arrive on the dispatch goroutine; the sweep ticks on main
+	lastBeat := map[string]time.Time{}
+	for _, id := range registryHosts(v) {
+		lastBeat[id] = time.Now()
+	}
+	root := store.HypervisorsPath()
+	_, err = c.Watch(root, func(path, value string) {
+		if id, ok := federation.BeatObserved(root, path); ok {
+			mu.Lock()
+			lastBeat[id] = time.Now()
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*sweep)
+	defer tick.Stop()
+	fmt.Fprintf(os.Stderr, "iorchestra-clusterd: expiring beats older than %v every %v\n", *ttl, *sweep)
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+		}
+		if err := c.Err(); err != nil {
+			return fmt.Errorf("expire: store connection lost: %w", err)
+		}
+		for _, id := range registryHosts(v) {
+			mu.Lock()
+			at, heard := lastBeat[id]
+			mu.Unlock()
+			if !heard {
+				// In the tree but never heard from: grace-stamp it and
+				// let the TTL run from now.
+				mu.Lock()
+				lastBeat[id] = time.Now()
+				mu.Unlock()
+				continue
+			}
+			if age := time.Since(at); age > *ttl {
+				mu.Lock()
+				delete(lastBeat, id)
+				mu.Unlock()
+				if err := v.Remove(store.HypervisorPath(id)); err == nil {
+					fmt.Printf("%s expire %s (age %v)\n", time.Now().Format(time.RFC3339), id, age.Round(time.Millisecond))
+				}
+			}
+		}
+	}
+}
+
+// placeDecision is the JSON document cmdPlace prints.
+type placeDecision struct {
+	Guest  string                 `json:"guest"`
+	Host   string                 `json:"host,omitempty"`
+	Mode   string                 `json:"mode"`
+	Score  float64                `json:"score,omitempty"`
+	Scores []federation.HostScore `json:"scores"`
+}
+
+// cmdPlace scores the current registry for one request with the shared
+// pure engine and prints the decision. Listed hosts are taken as live —
+// keeping dead entries out of the registry is the expirer's job, so
+// liveness enforcement happens in exactly one place.
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	url, token := storeFlags(fs)
+	guest := fs.String("guest", "", "guest uid (required)")
+	vcpus := fs.Int("vcpus", 0, "VCPU ask (required)")
+	class := fs.String("class", "", "required domain class (empty = any)")
+	mode := fs.String("mode", "enforce", "infeasibility handling: enforce or permissive")
+	overcommit := fs.Float64("overcommit", 1.0, "capacity scale factor")
+	wq := fs.Float64("w-queue", 0, "queue-depth weight (0 0 0 = defaults 0.4/0.4/0.2)")
+	wu := fs.Float64("w-util", 0, "utilization weight")
+	wl := fs.Float64("w-latency", 0, "p99-latency weight")
+	bind := fs.Bool("bind", false, "on admission, record the guest placement in the cluster registry")
+	fs.Parse(args)
+	if *guest == "" || *vcpus <= 0 {
+		return fmt.Errorf("place: -guest and -vcpus are required")
+	}
+	pol := federation.Policy{
+		Overcommit:  *overcommit,
+		QueueWeight: *wq, UtilWeight: *wu, LatencyWeight: *wl,
+	}
+	switch *mode {
+	case "enforce":
+	case "permissive":
+		pol.Mode = federation.Permissive
+	default:
+		return fmt.Errorf("place: -mode %q: want enforce or permissive", *mode)
+	}
+	c, err := dial(*url, *token)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	v := netView{c}
+
+	var hosts []federation.HostStats
+	for _, id := range registryHosts(v) {
+		hs := federation.ReadHostStats(v, id)
+		hs.Live = true // presence in the registry is the expirer's liveness verdict
+		hosts = append(hosts, hs)
+	}
+	scores, winner, decision := federation.ScoreHosts(pol, federation.Request{
+		Guest: *guest, VCPUs: *vcpus, Class: *class,
+	}, hosts)
+	out := placeDecision{Guest: *guest, Mode: decision, Scores: scores}
+	if winner >= 0 {
+		out.Host, out.Score = scores[winner].ID, scores[winner].Score
+		if *bind {
+			if err := federation.RecordPlacement(v, *guest, out.Host, *vcpus); err != nil {
+				return fmt.Errorf("place: bind: %w", err)
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if winner < 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// registryHosts lists the registered hypervisor ids, sorted.
+func registryHosts(v federation.View) []string {
+	ids, err := v.List(store.HypervisorsPath())
+	if err != nil {
+		return nil
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -19,6 +19,8 @@ var determinismScope = map[string]bool{
 	"iorchestra/internal/hypervisor": true,
 	"iorchestra/internal/device":     true,
 	"iorchestra/internal/blkio":      true,
+	"iorchestra/internal/federation": true,
+	"iorchestra/internal/cluster":    true,
 }
 
 // nonSimScope exempts the wire-facing packages from the determinism
@@ -29,9 +31,10 @@ var determinismScope = map[string]bool{
 // internal/netstore parity tests). The exemption wins over the
 // iorchestra/cmd/ prefix below.
 var nonSimScope = map[string]bool{
-	"iorchestra/internal/netstore":     true,
-	"iorchestra/cmd/iorchestra-stored": true,
-	"iorchestra/cmd/netstore-load":     true,
+	"iorchestra/internal/netstore":       true,
+	"iorchestra/cmd/iorchestra-stored":   true,
+	"iorchestra/cmd/netstore-load":       true,
+	"iorchestra/cmd/iorchestra-clusterd": true,
 }
 
 // Wall-clock and timer entry points of package time. Pure conversions

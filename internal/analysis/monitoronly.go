@@ -24,15 +24,18 @@ const hostType = "*iorchestra/internal/hypervisor.Host"
 
 // MonitorOnly enforces the PR 3 Controller contract in the policy
 // packages: measurements flow through hypervisor.Monitor, never through
-// Host's raw subsystem accessors.
+// Host's raw subsystem accessors. The federation's host agents publish
+// registry load stats, so they are policy readers too.
 var MonitorOnly = &Analyzer{
 	Name: "monitoronly",
-	Doc: "policy controllers (internal/core, internal/baselines) must read " +
-		"measurements through hypervisor.Monitor snapshots, not Host's raw " +
-		"accessors (Device, Cgroup, Tracer, PCore, CPUUtilization, " +
-		"BackendUtilization, IOCongested)",
+	Doc: "policy controllers (internal/core, internal/baselines, " +
+		"internal/federation) must read measurements through " +
+		"hypervisor.Monitor snapshots, not Host's raw accessors (Device, " +
+		"Cgroup, Tracer, PCore, CPUUtilization, BackendUtilization, IOCongested)",
 	AppliesTo: func(pkgPath string) bool {
-		return pkgPath == "iorchestra/internal/core" || pkgPath == "iorchestra/internal/baselines"
+		return pkgPath == "iorchestra/internal/core" ||
+			pkgPath == "iorchestra/internal/baselines" ||
+			pkgPath == "iorchestra/internal/federation"
 	},
 	Run: runMonitorOnly,
 }

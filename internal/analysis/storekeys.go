@@ -7,17 +7,19 @@ import (
 	"strings"
 )
 
-// StoreKeys flags raw "/local/domain/..." path literals. The store key
-// schema (docs/STORE_KEYS.md) is owned by two places — internal/store's
-// path helpers (store.Root, store.DomainPath, store.DiskPath) and the
-// typed key constructors in internal/core/keys.go. A hand-rolled path
-// literal anywhere else bypasses both, so a schema change (or a typo)
-// silently produces keys nothing watches.
+// StoreKeys flags raw "/local/domain/..." and "/cluster/..." path
+// literals. The store key schema (docs/STORE_KEYS.md) is owned by two
+// places — internal/store's path helpers (store.Root, store.DomainPath,
+// store.DiskPath, and the /cluster constructors in store's keys.go) and
+// the typed key constructors in internal/core/keys.go. A hand-rolled
+// path literal anywhere else bypasses both, so a schema change (or a
+// typo) silently produces keys nothing watches.
 var StoreKeys = &Analyzer{
 	Name: "storekeys",
-	Doc: "flag raw /local/domain/... string literals outside internal/store and " +
-		"internal/core/keys.go; build paths with store.Root/DomainPath/DiskPath " +
-		"or the keys.go constructors",
+	Doc: "flag raw /local/domain/... and /cluster/... string literals outside " +
+		"internal/store and internal/core/keys.go; build paths with " +
+		"store.Root/DomainPath/DiskPath, store's /cluster key constructors " +
+		"(HypervisorPath, ClusterGuestKey, ...), or the core keys.go constructors",
 	AppliesTo: func(pkgPath string) bool {
 		// internal/store owns the schema; internal/analysis quotes the
 		// path in rule text without ever building keys from it.
@@ -33,7 +35,9 @@ func runStoreKeys(p *Pass) error {
 		if !ok || lit.Kind != token.STRING {
 			return true
 		}
-		if !strings.Contains(lit.Value, "/local/domain") {
+		if !strings.Contains(lit.Value, "/local/domain") &&
+			!strings.Contains(lit.Value, "/cluster/") &&
+			lit.Value != `"/cluster"` {
 			return true
 		}
 		// keys.go is the schema's designated home on the core side.

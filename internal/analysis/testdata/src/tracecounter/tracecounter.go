@@ -10,6 +10,8 @@ type ctl struct {
 	heartbeatMisses uint64
 	fallbacks       uint64
 	restores        uint64
+	places          uint64
+	expiries        uint64
 }
 
 // good keeps the mirror: emission and increment in the same function.
@@ -37,4 +39,15 @@ func (c *ctl) passedKind() {
 
 func (c *ctl) emit(k trace.Kind) {
 	c.rec.Record(trace.Record{Kind: k})
+}
+
+// clusterGood keeps the mirror for a federation cluster.* kind.
+func (c *ctl) clusterGood(host string) {
+	c.places++
+	c.rec.Record(trace.Record{Kind: trace.KindClusterPlace, Host: host})
+}
+
+// clusterMissingCounter emits a cluster kind without the mirrored bump.
+func (c *ctl) clusterMissingCounter(host string) {
+	c.rec.Record(trace.Record{Kind: trace.KindClusterExpire, Host: host}) // want "KindClusterExpire emitted without incrementing the mirrored expiries counter"
 }

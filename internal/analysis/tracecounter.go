@@ -6,12 +6,16 @@ import (
 	"strings"
 )
 
-// The PR 2 degradation contract: every typed degradation trace event is
-// mirrored 1:1 by a counter, so operators can reconcile NDJSON traces
-// against Manager.Counters() even when the ring has evicted events.
+// The 1:1 trace/counter contract: every typed decision trace event is
+// mirrored by a counter, so operators can reconcile NDJSON traces
+// against Counters() snapshots even when the ring has evicted events.
 // Keys are the trace.Kind constant names; values the counter fields the
-// management module bumps.
+// emitting module bumps. Two modules carry the contract: internal/core's
+// degradation events (PR 2, docs/FAULTS.md) and internal/federation's
+// cluster.* decision events (docs/CLUSTER.md). Kind and counter names
+// are disjoint across the two, so one merged map checks both.
 var degradationKinds = map[string]string{
+	// internal/core degradation events.
 	"KindHeartbeatMiss":  "heartbeatMisses",
 	"KindFallbackEnter":  "fallbacks",
 	"KindFallbackExit":   "restores",
@@ -19,6 +23,15 @@ var degradationKinds = map[string]string{
 	"KindReleaseRetry":   "releaseRetries",
 	"KindReleaseTimeout": "releaseTimeouts",
 	"KindHoldTimeout":    "holdTimeouts",
+	// internal/federation cluster.* decisions.
+	"KindClusterJoin":         "joins",
+	"KindClusterExpire":       "expiries",
+	"KindClusterPlace":        "places",
+	"KindClusterReject":       "rejects",
+	"KindClusterMigrateStart": "migrateStarts",
+	"KindClusterMigrateSync":  "migrateSyncs",
+	"KindClusterMigrateDone":  "migrateDones",
+	"KindClusterMigrateAbort": "migrateAborts",
 }
 
 // degradationCounters is the reverse index.
@@ -37,11 +50,12 @@ var degradationCounters = func() map[string]string {
 // passing the kind to an emitting helper) in the same function.
 var TraceCounter = &Analyzer{
 	Name: "tracecounter",
-	Doc: "every degradation trace-event emission site must increment its " +
-		"mirrored counter in the same function, and vice versa (PR 2 1:1 " +
-		"trace/counter contract, docs/FAULTS.md)",
+	Doc: "every mirrored trace-event emission site must increment its " +
+		"counter in the same function, and vice versa (1:1 trace/counter " +
+		"contract: docs/FAULTS.md for core, docs/CLUSTER.md for federation)",
 	AppliesTo: func(pkgPath string) bool {
-		return pkgPath == "iorchestra/internal/core"
+		return pkgPath == "iorchestra/internal/core" ||
+			pkgPath == "iorchestra/internal/federation"
 	},
 	Run: runTraceCounter,
 }

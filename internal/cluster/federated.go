@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"fmt"
+
+	"iorchestra/internal/apps"
+	"iorchestra/internal/federation"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+	"iorchestra/internal/store"
+	"iorchestra/internal/workload"
+)
+
+// FederatedArrivals drives the dynamic VM experiment across a federated
+// testbed: Poisson arrivals flow through the federation's placement
+// engine instead of one host's FIFO budget, and guests are live-movable
+// — the engine implements federation.MigrationHooks, so the rebalancer
+// (or a test calling Federation.Migrate directly) can freeze a VM on
+// one host, hand its store subtree and progress over, and resume the
+// remainder of its problem size on another host (docs/CLUSTER.md §6).
+type FederatedArrivals struct {
+	k     *sim.Kernel
+	fed   *federation.Federation
+	cfg   ArrivalsConfig
+	hooks VMHooks
+	// rng drives the arrival process only; each app placement gets an
+	// independent stream derived from appSeed, exactly like Arrivals.
+	rng     *stats.Stream
+	appSeed uint64
+
+	queue   []fedPending
+	running map[string]*fedVM
+
+	arrived    int
+	placements int // app starts, including post-migration resumes
+	placed     int // distinct VMs admitted
+	completed  int
+	migrated   int
+
+	writtenBytes float64
+	ioBytes      float64
+
+	stopped bool
+}
+
+type fedPending struct {
+	uid   string
+	vcpus int
+	app   AppKind
+}
+
+// fedVM is one admitted VM. Progress accounting is split into the
+// current placement (closures over the live app) and totals carried
+// from placements retired by migration, so a VM's problem size survives
+// the move: the target resumes target − done, not the whole thing.
+type fedVM struct {
+	uid   string
+	host  string
+	dom   store.DomID
+	vcpus int
+	app   AppKind
+
+	stop       func()
+	progress   func() float64 // app units done in the current placement
+	curWritten func() float64
+	curIO      func() float64
+
+	doneUnits   float64 // units retired by earlier placements
+	doneWritten float64
+	doneIO      float64
+	targetUnits float64
+
+	frozen bool
+	gen    int // bumped on freeze; stale poll closures see it and die
+}
+
+// NewFederatedArrivals builds the engine over an already-populated
+// federation (hosts joined via fed.Join) and installs itself as the
+// federation's migration hooks.
+func NewFederatedArrivals(k *sim.Kernel, fed *federation.Federation, cfg ArrivalsConfig, hooks VMHooks, rng *stats.Stream) *FederatedArrivals {
+	cfg.fillDefaults()
+	f := &FederatedArrivals{
+		k: k, fed: fed, cfg: cfg, hooks: hooks, rng: rng,
+		appSeed: rng.Uint64(),
+		running: map[string]*fedVM{},
+	}
+	fed.SetMigrationHooks(federation.MigrationHooks{
+		Freeze:   f.freezeVM,
+		Create:   f.createOnTarget,
+		Unfreeze: f.unfreezeVM,
+		Restore:  f.restoreVM,
+	})
+	return f
+}
+
+// Arrived, Placed, Completed, Migrated, QueueLen report progress.
+func (f *FederatedArrivals) Arrived() int { return f.arrived }
+
+// Placed reports distinct VMs that obtained capacity somewhere.
+func (f *FederatedArrivals) Placed() int { return f.placed }
+
+// Completed reports VMs that finished their problem size.
+func (f *FederatedArrivals) Completed() int { return f.completed }
+
+// Migrated reports completed live migrations of this engine's VMs.
+func (f *FederatedArrivals) Migrated() int { return f.migrated }
+
+// QueueLen reports VMs waiting for any host to admit them.
+func (f *FederatedArrivals) QueueLen() int { return len(f.queue) }
+
+// Running reports VMs currently placed and not yet finished.
+func (f *FederatedArrivals) Running() int { return len(f.running) }
+
+// WrittenBytes reports aggregate application write bytes, including
+// running VMs and progress carried across migrations.
+func (f *FederatedArrivals) WrittenBytes() float64 {
+	total := f.writtenBytes
+	for _, vm := range f.running {
+		total += vm.doneWritten
+		if vm.curWritten != nil {
+			total += vm.curWritten()
+		}
+	}
+	return total
+}
+
+// IOBytes reports aggregate application I/O bytes (reads and writes).
+func (f *FederatedArrivals) IOBytes() float64 {
+	total := f.ioBytes
+	for _, vm := range f.running {
+		total += vm.doneIO
+		if vm.curIO != nil {
+			total += vm.curIO()
+		}
+	}
+	return total
+}
+
+// Start begins Poisson arrivals until the configured duration.
+func (f *FederatedArrivals) Start() { f.scheduleNext() }
+
+// Stop halts new arrivals.
+func (f *FederatedArrivals) Stop() { f.stopped = true }
+
+func (f *FederatedArrivals) scheduleNext() {
+	if f.stopped {
+		return
+	}
+	ratePerSec := f.cfg.Lambda / 60.0
+	gap := sim.DurationOf(f.rng.Exponential(ratePerSec))
+	f.k.After(gap, func() {
+		if f.stopped || f.k.Now() >= f.cfg.Duration {
+			return
+		}
+		f.arrive()
+		f.scheduleNext()
+	})
+}
+
+func (f *FederatedArrivals) arrive() {
+	f.arrived++
+	f.queue = append(f.queue, fedPending{
+		uid:   fmt.Sprintf("vm%03d", f.arrived),
+		vcpus: stats.Pick(f.rng, f.cfg.Sizes),
+		app:   stats.Pick(f.rng, f.cfg.Apps),
+	})
+	f.tryPlace()
+}
+
+// tryPlace admits queued VMs FIFO through the placement engine; a
+// rejected head blocks the queue until capacity frees (each refused
+// attempt is traced as cluster.reject by the federation).
+func (f *FederatedArrivals) tryPlace() {
+	for len(f.queue) > 0 {
+		p := f.queue[0]
+		hostID, ok := f.fed.Place(federation.Request{Guest: p.uid, VCPUs: p.vcpus})
+		if !ok {
+			return
+		}
+		f.queue = f.queue[1:]
+		f.place(p, hostID)
+	}
+}
+
+func (f *FederatedArrivals) place(p fedPending, hostID string) {
+	f.placed++
+	rt := f.createGuest(hostID, p.vcpus)
+	f.fed.BindGuest(p.uid, rt.G.ID())
+	vm := &fedVM{
+		uid: p.uid, host: hostID, dom: rt.G.ID(),
+		vcpus: p.vcpus, app: p.app,
+		targetUnits: f.targetUnits(p.app),
+	}
+	f.running[p.uid] = vm
+	f.startApp(vm, rt)
+}
+
+// createGuest builds a VM shell on the named host with the same sizing
+// the single-host Arrivals engine uses.
+func (f *FederatedArrivals) createGuest(hostID string, vcpus int) *hypervisor.GuestRuntime {
+	h := f.fed.Member(hostID)
+	rt := h.CreateGuest(guest.Config{
+		VCPUs:    vcpus,
+		MemBytes: int64(vcpus) << 30,
+	}, guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+		// Same dirty-budget regime as Arrivals.place: the cache available
+		// for dirty data is what the apps leave free, not the whole VM.
+		TotalPages:      (1 << 30) / pagecache.PageSize,
+		DirtyRatio:      0.2,
+		BackgroundRatio: 0.1,
+		WritebackWindow: 64,
+	}})
+	if f.hooks.OnCreate != nil {
+		f.hooks.OnCreate(rt)
+	}
+	return rt
+}
+
+// targetUnits is the app's problem size in its own progress units
+// (bytes for FS, ops for YCSB, bursts for Cloud9).
+func (f *FederatedArrivals) targetUnits(app AppKind) float64 {
+	switch app {
+	case AppFS:
+		return float64(f.cfg.FSBytes)
+	case AppYCSB1:
+		return float64(f.cfg.YCSBOps)
+	default:
+		return float64(f.cfg.Cloud9Bursts)
+	}
+}
+
+// finishVM retires a VM that met its problem size. A VM mid-migration
+// is left to the migration's outcome — the next poll finishes it
+// wherever it lands (its store subtree must not vanish under the
+// transfer).
+func (f *FederatedArrivals) finishVM(vm *fedVM) {
+	if f.running[vm.uid] != vm {
+		return
+	}
+	for _, uid := range f.fed.Migrating() {
+		if uid == vm.uid {
+			f.k.After(250*sim.Millisecond, func() { f.finishVM(vm) })
+			return
+		}
+	}
+	if vm.stop != nil {
+		vm.stop()
+	}
+	vm.doneUnits += f.progressOf(vm)
+	if vm.curWritten != nil {
+		vm.doneWritten += vm.curWritten()
+	}
+	if vm.curIO != nil {
+		vm.doneIO += vm.curIO()
+	}
+	vm.stop, vm.progress, vm.curWritten, vm.curIO = nil, nil, nil, nil
+	delete(f.running, vm.uid)
+	f.completed++
+	f.writtenBytes += vm.doneWritten
+	f.ioBytes += vm.doneIO
+	h := f.fed.Member(vm.host)
+	if rt := h.Guest(vm.dom); rt != nil && f.hooks.OnRemove != nil {
+		f.hooks.OnRemove(rt)
+	}
+	h.RemoveGuest(vm.dom)
+	f.fed.NoteGuestGone(vm.uid)
+	f.tryPlace()
+}
+
+func (f *FederatedArrivals) progressOf(vm *fedVM) float64 {
+	if vm.progress == nil {
+		return 0
+	}
+	return vm.progress()
+}
+
+// startApp launches (or resumes) the VM's application for the remainder
+// of its problem size. Each start draws an independent deterministic
+// stream, exactly like the single-host engine.
+func (f *FederatedArrivals) startApp(vm *fedVM, rt *hypervisor.GuestRuntime) {
+	remaining := vm.targetUnits - vm.doneUnits
+	if remaining <= 0 {
+		f.finishVM(vm)
+		return
+	}
+	f.placements++
+	rng := stats.NewStream(f.appSeed+uint64(f.placements), "app")
+	g := rt.G
+	gen := vm.gen
+	// poll re-checks completion every 250 ms; it dies silently when the
+	// placement it belongs to was retired (freeze bumps vm.gen).
+	poll := func(done func() bool) {
+		var check func()
+		check = func() {
+			if f.running[vm.uid] != vm || vm.gen != gen || vm.frozen {
+				return
+			}
+			if done() {
+				f.finishVM(vm)
+				return
+			}
+			f.k.After(250*sim.Millisecond, check)
+		}
+		f.k.After(250*sim.Millisecond, check)
+	}
+	switch vm.app {
+	case AppFS:
+		d := g.Disks()[0]
+		fs := workload.NewFS(f.k, g, d, workload.FSConfig{
+			Threads:      vm.vcpus,
+			MeanFileSize: 1 << 20,
+			Think:        6 * sim.Millisecond,
+			WriteFrac:    0.8, AppendFrac: 0.1, ReadFrac: 0.05,
+			BurstOn:  1500 * sim.Millisecond,
+			BurstOff: 3500 * sim.Millisecond,
+		}, rng)
+		fs.Start()
+		vm.stop = fs.Stop
+		vm.progress = fs.WrittenBytes
+		vm.curWritten = fs.WrittenBytes
+		vm.curIO = fs.WrittenBytes
+		poll(func() bool { return fs.WrittenBytes() >= remaining })
+	case AppYCSB1:
+		d := g.Disks()[0]
+		node := apps.NewCassandraNode(f.k, g, d, apps.CassandraConfig{}, rng.Fork("node"))
+		cl := apps.NewCassandraCluster(f.k, []*apps.CassandraNode{node}, rng.Fork("cl"))
+		cfg := workload.YCSB1()
+		op := workload.YCSBOp(cfg, cl, rng.Fork("op"))
+		genr := workload.NewClosedLoop(f.k, vm.vcpus, 0, op, rng.Fork("gen"))
+		genr.Start()
+		vm.stop = genr.Stop
+		vm.progress = func() float64 { return float64(genr.Recorder().Completed()) }
+		// Half the ops are 4 KiB commitlog updates (Table 2 accounting).
+		vm.curWritten = func() float64 { return float64(genr.Recorder().Completed()) / 2 * 4096 }
+		vm.curIO = func() float64 { return float64(genr.Recorder().Completed()) * 4096 }
+		poll(func() bool { return float64(genr.Recorder().Completed()) >= remaining })
+	case AppCloud9:
+		cb := workload.NewCPUBound(f.k, g, rng)
+		cb.TotalBursts = int(remaining)
+		cb.OnDone = func() {
+			if f.running[vm.uid] == vm && vm.gen == gen && !vm.frozen {
+				f.finishVM(vm)
+			}
+		}
+		cb.Start()
+		vm.stop = cb.Stop
+		vm.progress = func() float64 { return float64(cb.Ops().Completed()) }
+	}
+}
+
+// --- federation.MigrationHooks ----------------------------------------------
+
+// freezeVM quiesces the VM on its source: the app stops, its progress
+// folds into the carried totals, and the poll generation is retired.
+func (f *FederatedArrivals) freezeVM(uid string) {
+	vm := f.running[uid]
+	if vm == nil || vm.frozen {
+		return
+	}
+	vm.frozen = true
+	vm.gen++
+	if vm.stop != nil {
+		vm.stop()
+	}
+	vm.doneUnits += f.progressOf(vm)
+	if vm.curWritten != nil {
+		vm.doneWritten += vm.curWritten()
+	}
+	if vm.curIO != nil {
+		vm.doneIO += vm.curIO()
+	}
+	vm.stop, vm.progress, vm.curWritten, vm.curIO = nil, nil, nil, nil
+}
+
+// createOnTarget builds the frozen VM's shell on the target host.
+func (f *FederatedArrivals) createOnTarget(uid, target string) (store.DomID, error) {
+	vm := f.running[uid]
+	if vm == nil {
+		return 0, fmt.Errorf("cluster: migrating unknown guest %q", uid)
+	}
+	rt := f.createGuest(target, vm.vcpus)
+	return rt.G.ID(), nil
+}
+
+// unfreezeVM resumes the VM on its new host with its remaining work.
+func (f *FederatedArrivals) unfreezeVM(uid, target string, dom store.DomID) {
+	vm := f.running[uid]
+	if vm == nil {
+		return
+	}
+	vm.host, vm.dom = target, dom
+	vm.frozen = false
+	f.migrated++
+	rt := f.fed.Member(target).Guest(dom)
+	f.startApp(vm, rt)
+	f.tryPlace()
+}
+
+// restoreVM resumes a frozen VM on its source after an aborted
+// migration — the source copy was never disturbed.
+func (f *FederatedArrivals) restoreVM(uid string) {
+	vm := f.running[uid]
+	if vm == nil || !vm.frozen {
+		return
+	}
+	vm.frozen = false
+	rt := f.fed.Member(vm.host).Guest(vm.dom)
+	f.startApp(vm, rt)
+}

@@ -1,0 +1,129 @@
+package federation
+
+import (
+	"math"
+	"testing"
+)
+
+// almost compares floats with the slack the scoring arithmetic needs.
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestScoreHostsWorkedExample pins the exact numbers docs/CLUSTER.md §3
+// walks through: three 12-core hosts, a 4-VCPU request, default weights
+// 0.4/0.4/0.2. h1 fails capacity; among the feasible pair h3 wins with
+// score 0.4·(1−2/8) + 0.4·(1−0.25/0.5) + 0.2·(1−4/12) ≈ 0.6333.
+func TestScoreHostsWorkedExample(t *testing.T) {
+	hosts := []HostStats{
+		{ID: "h1", Live: true, Cores: 12, ActiveVCPUs: 10},
+		{ID: "h2", Live: true, Cores: 12, ActiveVCPUs: 4, QueueDepth: 8, Util: 0.5, P99Ms: 12},
+		{ID: "h3", Live: true, Cores: 12, ActiveVCPUs: 6, QueueDepth: 2, Util: 0.25, P99Ms: 4},
+	}
+	scores, winner, mode := ScoreHosts(Policy{}, Request{Guest: "vm1", VCPUs: 4}, hosts)
+	if mode != "enforce" {
+		t.Fatalf("mode = %q, want enforce", mode)
+	}
+	if winner != 2 || scores[winner].ID != "h3" {
+		t.Fatalf("winner = %d (%+v), want h3", winner, scores)
+	}
+	if scores[0].Feasible || scores[0].Reason != "capacity" {
+		t.Fatalf("h1 = %+v, want infeasible for capacity", scores[0])
+	}
+	if !almost(scores[1].Score, 0) {
+		t.Fatalf("h2 score = %g, want 0 (maximal on every metric)", scores[1].Score)
+	}
+	want := 0.4*(1-2.0/8) + 0.4*(1-0.25/0.5) + 0.2*(1-4.0/12)
+	if !almost(scores[2].Score, want) {
+		t.Fatalf("h3 score = %g, want %g", scores[2].Score, want)
+	}
+}
+
+// TestScoreHostsTiebreak: identical feasible hosts resolve to the
+// lexicographically smaller id (the strictly-greater scan over
+// sorted-by-id input).
+func TestScoreHostsTiebreak(t *testing.T) {
+	hosts := []HostStats{
+		{ID: "a", Live: true, Cores: 8},
+		{ID: "b", Live: true, Cores: 8},
+	}
+	_, winner, _ := ScoreHosts(Policy{}, Request{VCPUs: 2}, hosts)
+	if winner != 0 {
+		t.Fatalf("winner = %d, want 0 (id tiebreak)", winner)
+	}
+}
+
+// TestScoreHostsZeroMetricsShareFullWeight: when a metric is zero on
+// every candidate it must not divide by zero, and every candidate gets
+// the metric's full weight.
+func TestScoreHostsZeroMetricsShareFullWeight(t *testing.T) {
+	hosts := []HostStats{{ID: "a", Live: true, Cores: 4}}
+	scores, winner, _ := ScoreHosts(Policy{}, Request{VCPUs: 1}, hosts)
+	if winner != 0 || !almost(scores[0].Score, 1.0) {
+		t.Fatalf("score = %+v, want full weight 1.0", scores[0])
+	}
+}
+
+// TestScoreHostsClassConstraint: a class mismatch is a hard constraint
+// under enforce, and exactly the constraint the permissive fallback
+// relaxes.
+func TestScoreHostsClassConstraint(t *testing.T) {
+	hosts := []HostStats{{ID: "hdd0", Live: true, Cores: 16, Class: "hdd"}}
+	req := Request{Guest: "vm1", VCPUs: 2, Class: "ssd"}
+
+	scores, winner, mode := ScoreHosts(Policy{}, req, hosts)
+	if winner != -1 || mode != "no-feasible-host" {
+		t.Fatalf("enforce: winner=%d mode=%q, want rejection", winner, mode)
+	}
+	if scores[0].Reason != "class" {
+		t.Fatalf("reason = %q, want class", scores[0].Reason)
+	}
+
+	_, winner, mode = ScoreHosts(Policy{Mode: Permissive}, req, hosts)
+	if winner != 0 || mode != "fallback" {
+		t.Fatalf("permissive: winner=%d mode=%q, want fallback onto hdd0", winner, mode)
+	}
+}
+
+// TestScoreHostsPermissiveZeroFeasible is the satellite case: no host is
+// feasible. Enforce rejects; permissive falls back onto the live host
+// with the most headroom; with no live host at all, even permissive
+// rejects — liveness is never relaxed.
+func TestScoreHostsPermissiveZeroFeasible(t *testing.T) {
+	hosts := []HostStats{
+		{ID: "a", Live: true, Cores: 4, ActiveVCPUs: 4},
+		{ID: "b", Live: true, Cores: 8, ActiveVCPUs: 6},
+		{ID: "c", Live: false, Cores: 64},
+	}
+	req := Request{Guest: "vm9", VCPUs: 4}
+
+	_, winner, mode := ScoreHosts(Policy{}, req, hosts)
+	if winner != -1 || mode != "no-feasible-host" {
+		t.Fatalf("enforce: winner=%d mode=%q, want no-feasible-host", winner, mode)
+	}
+
+	// Permissive: b has headroom 8−6=2 > a's 0; dead c's 64 cores must
+	// not tempt the fallback.
+	_, winner, mode = ScoreHosts(Policy{Mode: Permissive}, req, hosts)
+	if winner != 1 || mode != "fallback" {
+		t.Fatalf("permissive: winner=%d mode=%q, want fallback onto b", winner, mode)
+	}
+
+	// All dead: rejection even under permissive.
+	dead := []HostStats{{ID: "a", Cores: 4}, {ID: "b", Cores: 8}}
+	_, winner, mode = ScoreHosts(Policy{Mode: Permissive}, req, dead)
+	if winner != -1 || mode != "no-live-host" {
+		t.Fatalf("all-dead: winner=%d mode=%q, want no-live-host", winner, mode)
+	}
+}
+
+// TestScoreHostsOvercommit: Overcommit scales capacity — a host over
+// physical cores but under cores×overcommit stays feasible.
+func TestScoreHostsOvercommit(t *testing.T) {
+	hosts := []HostStats{{ID: "a", Live: true, Cores: 4, ActiveVCPUs: 4}}
+	req := Request{VCPUs: 2}
+	if _, winner, _ := ScoreHosts(Policy{}, req, hosts); winner != -1 {
+		t.Fatal("1.0 overcommit admitted past physical capacity")
+	}
+	if _, winner, _ := ScoreHosts(Policy{Overcommit: 1.5}, req, hosts); winner != 0 {
+		t.Fatal("1.5 overcommit refused 6 <= 4*1.5")
+	}
+}

@@ -96,6 +96,28 @@ func (mo *Monitor) QueueBacklog() int { return mo.h.cg.Backlog() }
 // of DeviceSnapshot for callers that need no bandwidth sampling.
 func (mo *Monitor) DevPending() int { return mo.h.dev.Pending() }
 
+// HostPathP99 reports the 99th-percentile host-path completion latency
+// across every guest, from the decision-trace recorder's histograms
+// (0 when tracing is off or nothing has completed). The federation's
+// host agents publish it as the registry's p99 health key.
+func (mo *Monitor) HostPathP99() sim.Time {
+	if mo.h.rec == nil {
+		return 0
+	}
+	return mo.h.rec.LatencyPercentile(99)
+}
+
+// ActiveVCPUs reports the summed VCPU count of resident guests — the
+// capacity quantity cluster placement budgets against (docs/CLUSTER.md).
+// Guest order does not matter for a sum, so the map iteration is safe.
+func (mo *Monitor) ActiveVCPUs() int {
+	n := 0
+	for _, rt := range mo.h.guests {
+		n += rt.G.NumVCPUs()
+	}
+	return n
+}
+
 // ObserveDirty records a guest's has_dirty_pages transition and reports
 // the new presence bit (the caller arms its check cadence on true).
 func (mo *Monitor) ObserveDirty(dom store.DomID, disk string, has bool) {

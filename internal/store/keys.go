@@ -1,0 +1,50 @@
+package store
+
+// This file owns the cluster half of the store key schema: the /cluster
+// namespace the federation layer (internal/federation) keeps beside the
+// per-domain /local/domain tree. docs/CLUSTER.md is the normative
+// reference for the keys below; docs/STORE_KEYS.md indexes both halves.
+//
+// Layout:
+//
+//	/cluster/hypervisors/<id>/...   one registered host: heartbeat,
+//	                                capacity and load keys published by
+//	                                its HostAgent, TTL-expired by the
+//	                                registry when the heartbeat stalls
+//	/cluster/guests/<uid>/...       one cluster-placed guest: the host
+//	                                holding it and its placement record
+//
+// The whole namespace is rooted at a Dom0-owned node, so only the
+// control plane writes it; guests never see cluster state directly.
+// The storekeys vet pass enforces that raw "/cluster/..." literals
+// appear only in this file — every other package must build cluster
+// paths through these constructors (docs/LINTING.md).
+
+// ClusterRoot is the top of the cluster-coordination namespace. Like
+// Root it is the only sanctioned spelling of the prefix outside this
+// package.
+const ClusterRoot = "/cluster"
+
+// HypervisorsPath returns the host-registry directory,
+// /cluster/hypervisors; each child is one registered hypervisor.
+func HypervisorsPath() string { return ClusterRoot + "/hypervisors" }
+
+// HypervisorPath returns the registry subtree root for one host:
+// /cluster/hypervisors/<id>.
+func HypervisorPath(id string) string { return HypervisorsPath() + "/" + id }
+
+// HypervisorKey returns the absolute path of one host-registry key:
+// /cluster/hypervisors/<id>/<key>.
+func HypervisorKey(id, key string) string { return HypervisorPath(id) + "/" + key }
+
+// ClusterGuestsPath returns the guest-placement directory,
+// /cluster/guests; each child is one cluster-placed guest.
+func ClusterGuestsPath() string { return ClusterRoot + "/guests" }
+
+// ClusterGuestPath returns the placement subtree root for one guest:
+// /cluster/guests/<uid>.
+func ClusterGuestPath(uid string) string { return ClusterGuestsPath() + "/" + uid }
+
+// ClusterGuestKey returns the absolute path of one guest placement key:
+// /cluster/guests/<uid>/<key>.
+func ClusterGuestKey(uid, key string) string { return ClusterGuestPath(uid) + "/" + key }

@@ -113,6 +113,42 @@ const (
 	// closure. Individual sub-ops are not recorded — the amortization is
 	// the point (docs/WIRE_PROTOCOL.md §5).
 	KindWireBatch Kind = "wire.batch"
+
+	// Cluster federation kinds (internal/federation, docs/CLUSTER.md).
+	// Each is mirrored 1:1 by a Federation counter, enforced by the
+	// iorchestra-vet tracecounter pass.
+
+	// KindClusterJoin is a hypervisor registering in the cluster host
+	// registry: Host names it, Size carries its core count and Value its
+	// domain class.
+	KindClusterJoin Kind = "cluster.join"
+	// KindClusterExpire is the registry TTL-expiring a host whose
+	// heartbeat stalled: Host names it, Latency the heartbeat age.
+	KindClusterExpire Kind = "cluster.expire"
+	// KindClusterPlace is the placement engine admitting a guest: Host is
+	// the chosen hypervisor, Path the guest uid, Size its VCPU request,
+	// Weight the winning score and Value the decision mode ("enforce",
+	// "permissive" or "fallback").
+	KindClusterPlace Kind = "cluster.place"
+	// KindClusterReject is the placement engine refusing a guest: Path is
+	// the guest uid, Size its VCPU request and Value the reason
+	// ("no-live-host", "no-feasible-host").
+	KindClusterReject Kind = "cluster.reject"
+	// KindClusterMigrateStart opens a live migration: Path is the guest
+	// uid, Host the source and Value the target hypervisor.
+	KindClusterMigrateStart Kind = "cluster.migrate.start"
+	// KindClusterMigrateSync is one store-subtree transfer round of a
+	// migration: Path is the guest uid, Host the target, Value the sync
+	// mode ("full", "delta", "match") and Size the pairs applied.
+	KindClusterMigrateSync Kind = "cluster.migrate.sync"
+	// KindClusterMigrateDone commits a migration on the target: Path is
+	// the guest uid, Host the target, Size the subtree nodes handed off
+	// and Latency the freeze-to-unfreeze wall time in sim nanoseconds.
+	KindClusterMigrateDone Kind = "cluster.migrate.done"
+	// KindClusterMigrateAbort rolls a migration back to the source: Path
+	// is the guest uid, Host the source the guest was restored on and
+	// Value the reason ("target-dead", "source-dead", "diverged").
+	KindClusterMigrateAbort Kind = "cluster.migrate.abort"
 )
 
 // Record is one decision-trace event. The zero value of every optional
@@ -130,9 +166,11 @@ type Record struct {
 	Dom int `json:"dom"`
 
 	// Disk names a virtual disk (per-disk decisions), Device a physical
-	// device (device-path events).
+	// device (device-path events), Host a hypervisor in cluster-level
+	// events (federation joins, placements, migrations).
 	Disk   string `json:"disk,omitempty"`
 	Device string `json:"device,omitempty"`
+	Host   string `json:"host,omitempty"`
 
 	// Path and Value describe store traffic.
 	Path  string `json:"path,omitempty"`
@@ -173,6 +211,9 @@ func (r Record) String() string {
 	}
 	if r.Device != "" {
 		fmt.Fprintf(&b, " dev=%s", r.Device)
+	}
+	if r.Host != "" {
+		fmt.Fprintf(&b, " host=%s", r.Host)
 	}
 	if r.Path != "" {
 		fmt.Fprintf(&b, " %s=%q", r.Path, r.Value)
@@ -307,6 +348,22 @@ func (r *Recorder) Counts() map[Kind]uint64 {
 // DomainLatency exposes the per-domain host-path completion-latency
 // histogram (nil if the domain completed no requests).
 func (r *Recorder) DomainLatency(dom int) *metrics.Histogram { return r.devLat[dom] }
+
+// LatencyPercentile reports the p-th percentile host-path completion
+// latency across every domain (0 when nothing has completed) — the
+// host-level health signal the federation's placement scoring reads via
+// hypervisor.Monitor. Histogram merging is commutative, so the map
+// iteration order does not affect the result.
+func (r *Recorder) LatencyPercentile(p float64) sim.Time {
+	merged := metrics.NewHistogram()
+	for _, h := range r.devLat {
+		merged.Merge(h)
+	}
+	if merged.Count() == 0 {
+		return 0
+	}
+	return merged.Percentile(p)
+}
 
 // Events returns the retained records oldest-first. (At, Seq) is already
 // non-decreasing, so no sort is needed.
@@ -456,6 +513,14 @@ var summaryKinds = []struct {
 	{KindWireOp, "wire ops"},
 	{KindWireConn, "wire conns"},
 	{KindWireBatch, "wire batches"},
+	{KindClusterJoin, "cluster joins"},
+	{KindClusterExpire, "cluster expiries"},
+	{KindClusterPlace, "cluster placements"},
+	{KindClusterReject, "cluster rejects"},
+	{KindClusterMigrateStart, "migrations started"},
+	{KindClusterMigrateSync, "migration sync rounds"},
+	{KindClusterMigrateDone, "migrations committed"},
+	{KindClusterMigrateAbort, "migrations aborted"},
 }
 
 // Format renders the summary as the per-domain decision report the
