@@ -1,7 +1,7 @@
 # Standard verification pipeline: `make check` is what CI runs.
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench check chaos experiments clean
+.PHONY: all build fmt vet lint test race bench bench-sim check chaos experiments clean
 
 all: check
 
@@ -38,6 +38,17 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkManagerTick -benchtime 1x ./internal/core/
 	$(GO) run ./cmd/netstore-load -clients 64 -stalled 4 -batch 1 -proto 1 -duration 2s -out BENCH_netstore.json
 	$(GO) run ./cmd/netstore-load -clients 1 -stalled 0 -batch 96 -proto 2 -duration 3s -out BENCH_netstore.json
+
+# Simulator-scaling trajectory (docs/PERFORMANCE.md §"Simulator scaling"):
+# the three tracked scale points appended to BENCH_sim.json, each gated
+# >20% below the best comparable tracked run. The 10k point shards over
+# 50 per-host kernels with a full-span epoch — the bench workload has no
+# cross-host coupling, so one barrier per runUntil keeps each kernel's
+# working set hot (see the doc for the epoch-length tradeoff).
+bench-sim:
+	$(GO) run ./cmd/sim-bench -guests 100 -hosts 1 -epoch 3000ms -out BENCH_sim.json
+	$(GO) run ./cmd/sim-bench -guests 1000 -hosts 1 -epoch 3000ms -out BENCH_sim.json
+	$(GO) run ./cmd/sim-bench -guests 10000 -hosts 50 -epoch 3000ms -out BENCH_sim.json
 
 check: fmt vet lint build test race
 

@@ -1,0 +1,293 @@
+// Command sim-bench measures simulator throughput — guest-seconds of
+// simulated work completed per wall-clock second — at configurable
+// scale, and appends the run to the committed benchmark trajectory
+// BENCH_sim.json (see docs/PERFORMANCE.md §"Simulator scaling").
+//
+// The scenario scales BenchmarkManagerTick up: -guests guests spread
+// over -hosts hosts, each guest running a self-rescheduling dirtying
+// writer (1 MiB every 10 ms of virtual time), with the selected
+// Algorithm 1–3 policies enabled per host. With -hosts > 1 each host
+// gets its own sim kernel and the kernels advance in epoch-synced
+// lockstep on separate goroutines (internal/cluster.RunEpochs), the
+// parallel-testbed path the cluster experiments shard over.
+//
+// Everything in this file is deterministic simulation driving — it runs
+// under the iorchestra-vet determinism pass. The wall-clock stopwatch,
+// run stamping and trajectory I/O live in stamp.go, which is exempted
+// (see internal/analysis/determinism.go nonSimFiles).
+//
+// Trajectory schema (BENCH_sim.json, schema 1 — append-only):
+//
+//	{
+//	  "bench": "sim",
+//	  "schema": 1,
+//	  "runs": [
+//	    {
+//	      "time": "2026-08-08T12:00:00Z",    // wall-clock stamp of the run
+//	      "git_sha": "de93f2c",              // HEAD when the run was taken
+//	      "config": {
+//	        "guests": 1000,                  // total guests across hosts
+//	        "hosts": 1,                      // parallel per-host kernels
+//	        "sim_ms": 2000,                  // measured simulated span
+//	        "warmup_ms": 1000,               // untimed steady-state lead-in
+//	        "write_kb": 1024,                // per-write dirtying payload
+//	        "write_interval_ms": 10,         // per-guest writer cadence
+//	        "burst_writes": 50,              // writes per burst, then pause
+//	        "pause_ms": 700,                 // inter-burst flush window
+//	        "policies": "all",               // flush|congestion|cosched|all
+//	        "seed": 7,                       // scenario RNG seed
+//	        "epoch_ms": 50                   // parallel barrier epoch
+//	      },
+//	      "results": {
+//	        "wall_ms": 1234.5,               // wall time for the measured span
+//	        "guest_secs_per_sec": 1620.3,    // guests × sim-seconds / wall-second
+//	        "events": 2345678,               // kernel events in the measured span
+//	        "events_per_sec": 1900000.0,
+//	        "flush_notices": 12,             // control-plane activity, summed
+//	        "congest_confirms": 0,           //   over hosts (sanity that the
+//	        "congest_vetoes": 340,           //   policies actually ran)
+//	        "cosched_runs": 40
+//	      },
+//	      "pass": true
+//	    }
+//	  ]
+//	}
+//
+// A run whose config matches a previous run is additionally gated:
+// guest_secs_per_sec more than 20% below the best prior comparable run
+// fails the bench (disable with -gate=false). The trajectory is
+// schema-validated on every append; a malformed file fails the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+
+	"iorchestra/internal/cluster"
+	"iorchestra/internal/core"
+	"iorchestra/internal/guest"
+	"iorchestra/internal/hypervisor"
+	"iorchestra/internal/pagecache"
+	"iorchestra/internal/sim"
+	"iorchestra/internal/stats"
+)
+
+type config struct {
+	Guests     int    `json:"guests"`
+	Hosts      int    `json:"hosts"`
+	SimMS      int64  `json:"sim_ms"`
+	WarmupMS   int64  `json:"warmup_ms"`
+	WriteKB    int    `json:"write_kb"`
+	WriteIntMS int64  `json:"write_interval_ms"`
+	Burst      int    `json:"burst_writes"`
+	PauseMS    int64  `json:"pause_ms"`
+	Policies   string `json:"policies"`
+	Seed       int64  `json:"seed"`
+	EpochMS    int64  `json:"epoch_ms"`
+}
+
+type results struct {
+	WallMS          float64 `json:"wall_ms"`
+	GuestSecsPerSec float64 `json:"guest_secs_per_sec"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	FlushNotices    uint64  `json:"flush_notices"`
+	CongestConfirms uint64  `json:"congest_confirms"`
+	CongestVetoes   uint64  `json:"congest_vetoes"`
+	CoschedRuns     uint64  `json:"cosched_runs"`
+}
+
+func main() {
+	guests := flag.Int("guests", 100, "total guests across all hosts")
+	hosts := flag.Int("hosts", 1, "hosts; each runs its own sim kernel (parallel when >1)")
+	simtime := flag.Duration("simtime", 2*time.Second, "measured span of simulated time")
+	warmup := flag.Duration("warmup", time.Second, "untimed simulated lead-in to steady state")
+	epoch := flag.Duration("epoch", 50*time.Millisecond, "parallel-kernel barrier epoch")
+	policies := flag.String("policies", "all", "policies to enable: flush|congestion|cosched|all")
+	seed := flag.Int64("seed", 7, "scenario RNG seed")
+	out := flag.String("out", "BENCH_sim.json", "trajectory path (runs are appended)")
+	gate := flag.Bool("gate", true, "fail if throughput drops >20% below the best comparable tracked run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured span here")
+	flag.Parse()
+
+	// Throughput mode: the bench allocates steadily (events, watch
+	// notifications) and holds little live data, so the default GOGC=100
+	// spends a quarter of the run collecting. Trading heap headroom for
+	// fewer cycles is a measurement choice, not a simulation change.
+	debug.SetGCPercent(1000)
+
+	pol, err := parsePolicies(*policies)
+	if err != nil {
+		fatal(err)
+	}
+	if *guests < 1 {
+		fatal(fmt.Errorf("-guests %d: need at least one guest", *guests))
+	}
+	if *hosts < 1 || *hosts > *guests {
+		fatal(fmt.Errorf("-hosts %d out of range [1, guests]", *hosts))
+	}
+	cfg := config{
+		Guests: *guests, Hosts: *hosts,
+		SimMS: simtime.Milliseconds(), WarmupMS: warmup.Milliseconds(),
+		WriteKB: writeBytes >> 10, WriteIntMS: int64(writeInterval / sim.Millisecond),
+		Burst: burstWrites, PauseMS: int64(burstPause / sim.Millisecond),
+		Policies: *policies, Seed: *seed, EpochMS: epoch.Milliseconds(),
+	}
+
+	b := buildBench(cfg, pol)
+	b.runUntil(sim.Duration(cfg.WarmupMS) * sim.Millisecond)
+	warmed := b.executed()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	end := sim.Duration(cfg.WarmupMS+cfg.SimMS) * sim.Millisecond
+	wallSecs := timed(func() { b.runUntil(end) })
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+
+	res := b.results(cfg, warmed, wallSecs)
+	pass := res.Events > 0 && res.GuestSecsPerSec > 0 && policyActive(pol, res)
+	if err := record(*out, cfg, res, pass, *gate); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sim-bench:", err)
+	os.Exit(1)
+}
+
+func parsePolicies(s string) (core.Policies, error) {
+	switch s {
+	case "all":
+		return core.All(), nil
+	case "flush":
+		return core.Policies{Flush: true}, nil
+	case "congestion":
+		return core.Policies{Congestion: true}, nil
+	case "cosched":
+		return core.Policies{Cosched: true}, nil
+	}
+	return core.Policies{}, fmt.Errorf("bad -policies %q: want flush|congestion|cosched|all", s)
+}
+
+// policyActive checks the enabled control plane actually made decisions
+// during the run — a bench that silently stopped routing store events
+// to its controllers would otherwise look "fast". The bursty workload
+// guarantees flush-eligible guests, so Algorithm 1 must issue orders;
+// congestion verdicts and co-scheduling updates are workload-dependent
+// (they need guest-visible device contention) and are reported but not
+// required.
+func policyActive(pol core.Policies, res results) bool {
+	return !pol.Flush || res.FlushNotices > 0
+}
+
+// The dirtying workload, fixed so runs stay comparable: each guest
+// writes 1 MiB every 10 ms of virtual time in 50-write bursts separated
+// by 700 ms pauses — BenchmarkManagerTick's load scaled out, with the
+// pauses Algorithm 1 needs to find flush-eligible guests (a guest whose
+// count grew within the 200 ms cooldown is mid-burst and left alone).
+const (
+	writeBytes    = 1 << 20
+	writeInterval = 10 * sim.Millisecond
+	burstWrites   = 50
+	burstPause    = 700 * sim.Millisecond
+)
+
+// bench is the constructed scenario: per-host kernels and managers.
+type bench struct {
+	tb       *cluster.ParallelTestbed
+	managers []*core.Manager
+	epoch    sim.Duration
+}
+
+// buildBench creates the testbed and populates every host with its
+// share of guests. Construction order (hosts, then guests within a
+// host) is fixed, so a given config always builds the same simulation.
+func buildBench(cfg config, pol core.Policies) *bench {
+	rng := stats.NewStream(uint64(cfg.Seed), "sim-bench")
+	tb := cluster.NewParallelTestbed(cfg.Hosts, hypervisor.Config{}, rng)
+	b := &bench{tb: tb, epoch: sim.Duration(cfg.EpochMS) * sim.Millisecond}
+	base, extra := cfg.Guests/cfg.Hosts, cfg.Guests%cfg.Hosts
+	for h := 0; h < cfg.Hosts; h++ {
+		k := tb.Kernel(h)
+		m := core.NewManager(tb.Host(h), pol, core.ManagerConfig{}, rng.Fork(fmt.Sprintf("mgr%d", h)))
+		b.managers = append(b.managers, m)
+		n := base
+		if h < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			rt := tb.Host(h).CreateGuest(guest.Config{VCPUs: 2, MemBytes: 1 << 30},
+				guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
+					WakeInterval: 30 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
+				}})
+			m.EnableGuest(rt)
+			d := rt.G.Disk("xvda")
+			p := rt.G.NewProcess(1)
+			var write func()
+			burst := 0
+			write = func() {
+				if burst == 0 {
+					burst = burstWrites
+				}
+				d.Write(p, writeBytes, nil)
+				if burst--; burst > 0 {
+					k.After(writeInterval, write)
+				} else {
+					k.After(burstPause, write)
+				}
+			}
+			// Stagger starts across the write interval so guests do not
+			// tick in one burst; the offset is a pure function of i.
+			k.After(sim.Duration(1+i%10)*sim.Millisecond+sim.Duration(i/10)*sim.Microsecond, write)
+		}
+	}
+	return b
+}
+
+// runUntil advances every host kernel to t (epoch-synced when parallel).
+func (b *bench) runUntil(t sim.Time) {
+	cluster.RunEpochs(b.tb.Kernels(), t, b.epoch, nil)
+}
+
+// executed sums dispatched events across all kernels.
+func (b *bench) executed() uint64 {
+	var n uint64
+	for _, k := range b.tb.Kernels() {
+		n += k.Executed()
+	}
+	return n
+}
+
+// results aggregates the measured span into the trajectory entry.
+func (b *bench) results(cfg config, warmed uint64, wallSecs float64) results {
+	events := b.executed() - warmed
+	simSecs := float64(cfg.SimMS) / 1e3
+	res := results{
+		WallMS:          wallSecs * 1e3,
+		GuestSecsPerSec: float64(cfg.Guests) * simSecs / wallSecs,
+		Events:          events,
+		EventsPerSec:    float64(events) / wallSecs,
+	}
+	for _, m := range b.managers {
+		c := m.Counters()
+		res.FlushNotices += c.FlushNotices
+		res.CongestConfirms += c.Confirms
+		res.CongestVetoes += c.Vetoes
+		res.CoschedRuns += c.CoschedRuns
+	}
+	return res
+}

@@ -1,0 +1,161 @@
+// Wall-clock and trajectory side of sim-bench: the stopwatch around the
+// measured span, the run stamp, and BENCH_sim.json load/validate/append.
+// This file is exempt from the iorchestra-vet determinism pass (see
+// internal/analysis/determinism.go nonSimFiles) — measuring wall time is
+// its job. Nothing here feeds back into the simulation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// benchRun is one trajectory entry; the file accumulates them so the
+// simulator's throughput history stays reviewable alongside the code
+// that moved it.
+type benchRun struct {
+	Time    string  `json:"time"`
+	GitSHA  string  `json:"git_sha"`
+	Config  config  `json:"config"`
+	Results results `json:"results"`
+	Pass    bool    `json:"pass"`
+	// Note carries provenance for hand-migrated entries; the tool itself
+	// never writes it.
+	Note string `json:"note,omitempty"`
+}
+
+type trajectory struct {
+	Bench  string     `json:"bench"`
+	Schema int        `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+// timed runs fn and returns the wall-clock seconds it took.
+func timed(fn func()) float64 {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds()
+}
+
+// gitSHA stamps runs with the commit they measured; empty outside a
+// checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// record appends the run to the trajectory at path, enforcing schema
+// validity and (when gate is set) the >20% comparable-config regression
+// bar. It prints the one-line summary and exits non-zero on failure.
+func record(path string, cfg config, res results, pass bool, gate bool) error {
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	best, bestSHA := bestComparable(traj, cfg)
+	traj.Runs = append(traj.Runs, benchRun{
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		GitSHA:  gitSHA(),
+		Config:  cfg,
+		Results: res,
+		Pass:    pass,
+	})
+	if err := validateTrajectory(traj); err != nil {
+		return fmt.Errorf("%s failed schema validation: %w", path, err)
+	}
+	blob, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sim-bench: %d guests on %d host(s), %.0f ms simulated in %.0f ms wall → %.1f guest-s/s (%.0f events/s, %d flush orders, %d verdicts, %d cosched runs) → %s (run %d)\n",
+		cfg.Guests, cfg.Hosts, float64(cfg.SimMS), res.WallMS,
+		res.GuestSecsPerSec, res.EventsPerSec,
+		res.FlushNotices, res.CongestConfirms+res.CongestVetoes, res.CoschedRuns,
+		path, len(traj.Runs))
+	if !pass {
+		fmt.Fprintln(os.Stderr, "sim-bench: FAIL (no simulated work or the enabled control plane made no decisions)")
+		os.Exit(1)
+	}
+	if gate && best > 0 && res.GuestSecsPerSec < 0.8*best {
+		fmt.Fprintf(os.Stderr,
+			"sim-bench: REGRESSION — %.1f guest-s/s is %.0f%% below the best comparable tracked run (%.1f guest-s/s at %s)\n",
+			res.GuestSecsPerSec, 100*(1-res.GuestSecsPerSec/best), best, bestSHA)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// loadTrajectory reads the existing trajectory. A missing file starts a
+// fresh one; an unreadable or wrong-bench file is an error rather than
+// a silent clobber of tracked history.
+func loadTrajectory(path string) (trajectory, error) {
+	fresh := trajectory{Bench: "sim", Schema: 1}
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	if err != nil {
+		return trajectory{}, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(blob, &t); err != nil {
+		return trajectory{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if t.Bench != "sim" || t.Schema != 1 {
+		return trajectory{}, fmt.Errorf("%s is not a sim schema-1 trajectory (bench %q, schema %d)", path, t.Bench, t.Schema)
+	}
+	return t, nil
+}
+
+// validateTrajectory is the schema gate make bench-sim relies on: every
+// entry — including previously committed ones — must carry a coherent
+// config and results, so a hand-edited or truncated file fails loudly.
+func validateTrajectory(t trajectory) error {
+	if t.Bench != "sim" || t.Schema != 1 {
+		return fmt.Errorf("bad header: bench %q, schema %d", t.Bench, t.Schema)
+	}
+	for i, r := range t.Runs {
+		c, res := r.Config, r.Results
+		switch {
+		case r.Time == "" && r.Note == "":
+			return fmt.Errorf("run %d: missing time stamp", i)
+		case c.Guests <= 0 || c.Hosts <= 0 || c.Hosts > c.Guests:
+			return fmt.Errorf("run %d: bad scale (guests %d, hosts %d)", i, c.Guests, c.Hosts)
+		case c.SimMS <= 0 || c.WarmupMS < 0:
+			return fmt.Errorf("run %d: bad span (sim_ms %d, warmup_ms %d)", i, c.SimMS, c.WarmupMS)
+		case c.Policies == "":
+			return fmt.Errorf("run %d: missing policies", i)
+		case res.WallMS <= 0 || res.GuestSecsPerSec <= 0:
+			return fmt.Errorf("run %d: bad results (wall_ms %v, guest_secs_per_sec %v)", i, res.WallMS, res.GuestSecsPerSec)
+		}
+	}
+	return nil
+}
+
+// bestComparable finds the highest passing throughput among tracked
+// runs with the identical scenario config — the bar the regression gate
+// holds new runs to.
+func bestComparable(traj trajectory, cfg config) (float64, string) {
+	var best float64
+	sha := "?"
+	for _, r := range traj.Runs {
+		if r.Config == cfg && r.Pass && r.Results.GuestSecsPerSec > best {
+			best = r.Results.GuestSecsPerSec
+			if r.GitSHA != "" {
+				sha = r.GitSHA
+			}
+		}
+	}
+	return best, sha
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"testing"
 
+	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/trace"
 )
 
@@ -201,5 +202,27 @@ func TestGoldenHarnessDetectsPerturbation(t *testing.T) {
 	got := encodeNDJSON(t, goldenScenario(t, SystemIOrchestra, false, goldenSeed+1))
 	if bytes.Equal(got, want) {
 		t.Fatal("perturbed seed reproduced the golden trace; harness is not sensitive")
+	}
+}
+
+// TestGoldenCatchesIndexOrderDrift guards the incremental argmax: with
+// the Monitor's settled-index comparison deliberately inverted (argmin,
+// ties to the highest dom), the same seed must NOT reproduce the
+// fixture. This pins that the fixtures encode the exact winner order of
+// the replaced O(n) scan — an index whose ordering silently drifted
+// from those semantics would fail trace parity rather than ship.
+func TestGoldenCatchesIndexOrderDrift(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	want, err := os.ReadFile(goldenPath(SystemIOrchestra, false))
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	hypervisor.DirtyOrderInvertedForTest = true
+	defer func() { hypervisor.DirtyOrderInvertedForTest = false }()
+	got := encodeNDJSON(t, goldenScenario(t, SystemIOrchestra, false, goldenSeed))
+	if bytes.Equal(got, want) {
+		t.Fatal("inverted settled-index order reproduced the golden trace; the fixtures do not pin the argmax winner order")
 	}
 }

@@ -28,9 +28,11 @@ func TestNoDeprecatedFixture(t *testing.T) { runFixture(t, NoDeprecated, "nodepr
 // pass's scope gate on a miniature module tree (testdata/scope, module
 // path iorchestra): deterministic-sim packages and simulation-driving
 // commands are flagged, while nonSimScope's wire-facing packages —
-// internal/netstore and its commands — use the wall clock freely. Unlike
-// runFixture, scoping stays ENABLED here; the exempt packages carry no
-// want comments, so any diagnostic from them fails the test.
+// internal/netstore and its commands — use the wall clock freely, and
+// nonSimFiles carves out single files (sim-bench's stamp.go) inside
+// otherwise-covered packages. Unlike runFixture, scoping stays ENABLED
+// here; the exempt packages and files carry no want comments, so any
+// diagnostic from them fails the test.
 func TestDeterminismScopeFixture(t *testing.T) {
 	dir := filepath.Join("testdata", "scope")
 	pkgs, err := Load(LoadConfig{}, dir+"/...")
@@ -46,6 +48,7 @@ func TestDeterminismScopeFixture(t *testing.T) {
 	for _, p := range []string{
 		"iorchestra/internal/core", "iorchestra/internal/netstore",
 		"iorchestra/cmd/iorchestra-stored", "iorchestra/cmd/iorchestra-vet",
+		"iorchestra/cmd/sim-bench",
 	} {
 		if _, ok := flagged[p]; !ok {
 			t.Fatalf("scope fixture did not load %s; got %v", p, flagged)

@@ -1,0 +1,12 @@
+// Command sim-bench's stand-in: under iorchestra/cmd/ and NOT in
+// nonSimScope, so the scenario-driving file stays inside the
+// determinism pass even though the package's stamp.go steps out via
+// nonSimFiles — the exemption is per file, not per package.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // want `time.Now reads the wall clock`
+	stamp()
+}

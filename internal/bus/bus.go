@@ -41,7 +41,7 @@ func (b *Bus) Register(dom store.DomID) *Domain {
 		return d
 	}
 	b.st.AddDomain(dom)
-	d := &Domain{b: b, id: dom}
+	d := &Domain{b: b, id: dom, home: store.DomainPath(dom)}
 	b.domains[dom] = d
 	return d
 }
@@ -88,8 +88,16 @@ type Conn interface {
 
 // Domain is a handle scoped to one domain's view of the store.
 type Domain struct {
-	b  *Bus
-	id store.DomID
+	b    *Bus
+	id   store.DomID
+	home string // cached store.DomainPath(id); Path runs on every store op
+	// cursors memoizes rel → pinned store cursors: a domain touches a
+	// small fixed key set, so both the path concatenation and the store's
+	// absolute-path resolution happen once per key instead of once per
+	// operation — every typed op below is one short-key map hit plus the
+	// cursor fast path. Kernel-goroutine only, like every other
+	// store-facing structure.
+	cursors map[string]*store.Cursor
 }
 
 var _ Conn = (*Domain)(nil)
@@ -97,59 +105,73 @@ var _ Conn = (*Domain)(nil)
 // ID reports the domain id.
 func (d *Domain) ID() store.DomID { return d.id }
 
+// cursor returns (creating if needed) the pinned cursor for rel.
+func (d *Domain) cursor(rel string) *store.Cursor {
+	if c, ok := d.cursors[rel]; ok {
+		return c
+	}
+	if d.cursors == nil {
+		d.cursors = map[string]*store.Cursor{}
+	}
+	p := d.home
+	if rel != "" {
+		p = d.home + "/" + rel
+	}
+	c := d.b.st.CursorFor(p)
+	d.cursors[rel] = c
+	return c
+}
+
 // Path resolves a relative key to the domain's absolute store path.
 func (d *Domain) Path(rel string) string {
-	if rel == "" {
-		return store.DomainPath(d.id)
-	}
-	return store.DomainPath(d.id) + "/" + rel
+	return d.cursor(rel).Path()
 }
 
 // Write sets a key within the domain's own subtree.
 func (d *Domain) Write(rel, value string) error {
-	return d.b.st.Write(d.id, d.Path(rel), value)
+	return d.b.st.WriteCursor(d.id, d.cursor(rel), value)
 }
 
 // WriteBool sets a boolean key within the domain's own subtree.
 func (d *Domain) WriteBool(rel string, v bool) error {
-	return d.b.st.WriteBool(d.id, d.Path(rel), v)
+	return d.b.st.WriteBoolCursor(d.id, d.cursor(rel), v)
 }
 
 // WriteInt sets an integer key within the domain's own subtree.
 func (d *Domain) WriteInt(rel string, v int64) error {
-	return d.b.st.WriteInt(d.id, d.Path(rel), v)
+	return d.b.st.WriteIntCursor(d.id, d.cursor(rel), v)
 }
 
 // WriteFloat sets a float key within the domain's own subtree.
 func (d *Domain) WriteFloat(rel string, v float64) error {
-	return d.b.st.WriteFloat(d.id, d.Path(rel), v)
+	return d.b.st.WriteFloatCursor(d.id, d.cursor(rel), v)
 }
 
 // Read reads a key from the domain's own subtree.
 func (d *Domain) Read(rel string) (string, error) {
-	return d.b.st.Read(d.id, d.Path(rel))
+	return d.b.st.ReadCursor(d.id, d.cursor(rel))
 }
 
 // ReadBool reads a boolean key (false when absent).
 func (d *Domain) ReadBool(rel string) (bool, error) {
-	return d.b.st.ReadBool(d.id, d.Path(rel))
+	return d.b.st.ReadBoolCursor(d.id, d.cursor(rel))
 }
 
 // ReadInt reads an integer key with a default.
 func (d *Domain) ReadInt(rel string, def int64) (int64, error) {
-	return d.b.st.ReadInt(d.id, d.Path(rel), def)
+	return d.b.st.ReadIntCursor(d.id, d.cursor(rel), def)
 }
 
 // ReadFloat reads a float key with a default.
 func (d *Domain) ReadFloat(rel string, def float64) (float64, error) {
-	return d.b.st.ReadFloat(d.id, d.Path(rel), def)
+	return d.b.st.ReadFloatCursor(d.id, d.cursor(rel), def)
 }
 
 // Watch registers a callback on a relative prefix of the domain's own
 // subtree; fn receives the path relative to the domain root.
 func (d *Domain) Watch(rel string, fn func(rel, value string)) (store.WatchID, error) {
 	prefix := d.Path(rel)
-	base := store.DomainPath(d.id) + "/"
+	base := d.home + "/"
 	return d.b.st.Watch(d.id, prefix, func(path, value string) {
 		r := path
 		if len(path) > len(base) && path[:len(base)] == base {

@@ -15,6 +15,12 @@ type congEntry struct {
 	since sim.Time // when the guest was confirmed held (HoldDeadline clock)
 }
 
+// congKey identifies one held (guest, disk) pair for O(1) dedup.
+type congKey struct {
+	dom  store.DomID
+	disk string
+}
+
 // releaseState tracks an unacknowledged release_request.
 type releaseState struct {
 	disk    string
@@ -35,7 +41,12 @@ type congestController struct {
 
 	relief cadence
 
+	// held is FIFO in confirm order, so since is monotone along it:
+	// HoldDeadline expiry is always a prefix, and the expiry check stops
+	// at the first live entry instead of scanning every held guest.
+	// heldSet mirrors membership for O(1) dedup on re-confirms.
 	held       []congEntry
+	heldSet    map[congKey]bool
 	pendingRel map[store.DomID]*releaseState
 
 	vetoes          uint64
@@ -51,6 +62,7 @@ func newCongestController(m *Manager) *congestController {
 		m:          m,
 		cfg:        &m.cfg,
 		mon:        m.h.Monitor(),
+		heldSet:    map[congKey]bool{},
 		pendingRel: map[store.DomID]*releaseState{},
 	}
 	cc.relief = cadence{k: m.k, period: m.cfg.CongestionCheckInterval, tick: func() bool {
@@ -76,6 +88,8 @@ func (cc *congestController) Detach(dom store.DomID) {
 	for _, e := range cc.held {
 		if e.dom != dom {
 			kept = append(kept, e)
+		} else {
+			delete(cc.heldSet, congKey{dom: e.dom, disk: e.disk})
 		}
 	}
 	cc.held = kept
@@ -118,6 +132,7 @@ func (cc *congestController) OnFallback(dom store.DomID) {
 	for _, e := range cc.held {
 		if e.dom == dom {
 			wasHeld = true
+			delete(cc.heldSet, congKey{dom: e.dom, disk: e.disk})
 		} else {
 			kept = append(kept, e)
 		}
@@ -146,11 +161,11 @@ func (cc *congestController) handleCongestQuery(dom store.DomID, disk string) {
 		cc.confirms++
 		cc.recordCongestion(trace.KindCongestConfirm, dom, disk)
 		m.st.WriteBool(store.Dom0, absDiskKey(dom, disk, keyCongested), true)
-		for _, e := range cc.held {
-			if e.dom == dom && e.disk == disk {
-				return
-			}
+		key := congKey{dom: dom, disk: disk}
+		if cc.heldSet[key] {
+			return
 		}
+		cc.heldSet[key] = true
 		cc.held = append(cc.held, congEntry{dom: dom, disk: disk, since: m.k.Now()})
 		cc.relief.arm()
 		return
@@ -247,25 +262,29 @@ func (cc *congestController) congestionTick() {
 	if cc.mon.IOCongested() {
 		// Still congested — but nobody may be held past HoldDeadline: a
 		// device stuck in a degraded state (or a torn congested key)
-		// must not park a guest's producers forever.
+		// must not park a guest's producers forever. since is monotone
+		// along held, so the expired set is a prefix: the check is O(1)
+		// when nothing expired, not a scan over every held guest.
 		if cc.cfg.HoldDeadline <= 0 {
 			return
 		}
-		kept := cc.held[:0]
-		for _, e := range cc.held {
-			if now-e.since >= cc.cfg.HoldDeadline {
-				cc.holdTimeouts++
-				cc.requestRelease(e.dom, e.disk, trace.KindHoldTimeout)
-			} else {
-				kept = append(kept, e)
-			}
+		cut := 0
+		for cut < len(cc.held) && now-cc.held[cut].since >= cc.cfg.HoldDeadline {
+			e := cc.held[cut]
+			cut++
+			delete(cc.heldSet, congKey{dom: e.dom, disk: e.disk})
+			cc.holdTimeouts++
+			cc.requestRelease(e.dom, e.disk, trace.KindHoldTimeout)
 		}
-		cc.held = kept
+		if cut > 0 {
+			cc.held = append(cc.held[:0], cc.held[cut:]...)
+		}
 		return
 	}
 	var offset sim.Duration
 	for _, e := range cc.held {
 		dom, disk := e.dom, e.disk
+		delete(cc.heldSet, congKey{dom: dom, disk: disk})
 		cc.relieves++
 		m.k.After(offset, func() {
 			cc.requestRelease(dom, disk, trace.KindCongestRelease)

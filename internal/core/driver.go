@@ -60,6 +60,15 @@ type diskDriver struct {
 	name string
 	v    *guest.VDisk
 
+	// Relative store keys, formatted once: the dirty mirror and the
+	// congestion handshake hit them on every state change, and the
+	// per-call concatenations dominated the driver in profiles at scale.
+	kHasDirty     string
+	kNrDirty      string
+	kFlushNow     string
+	kCongestQuery string
+	kCongested    string
+
 	lastQuery     sim.Time
 	everQueried   bool
 	releasedUntil sim.Time
@@ -110,14 +119,21 @@ func NewDriver(h *hypervisor.Host, rt *hypervisor.GuestRuntime, rng *stats.Strea
 }
 
 func (drv *Driver) addDisk(v *guest.VDisk) {
-	dd := &diskDriver{drv: drv, name: v.Name(), v: v}
+	dd := &diskDriver{
+		drv: drv, name: v.Name(), v: v,
+		kHasDirty:     diskKey(v.Name(), keyHasDirty),
+		kNrDirty:      diskKey(v.Name(), keyNrDirty),
+		kFlushNow:     diskKey(v.Name(), keyFlushNow),
+		kCongestQuery: diskKey(v.Name(), keyCongestQuery),
+		kCongested:    diskKey(v.Name(), keyCongested),
+	}
 	drv.disks[v.Name()] = dd
 	// Pre-create guest-owned keys.
-	drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), false)
-	drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), 0)
-	drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
-	drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), false)
-	drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+	drv.dom.WriteBool(dd.kHasDirty, false)
+	drv.dom.WriteInt(dd.kNrDirty, 0)
+	drv.dom.WriteBool(dd.kFlushNow, false)
+	drv.dom.WriteBool(dd.kCongestQuery, false)
+	drv.dom.WriteBool(dd.kCongested, false)
 	// Mirror dirty-page state (Algorithm 1's guest half).
 	v.Cache.OnDirtyChange = dd.onDirtyChange
 	// Collaborative congestion control (Algorithm 2's guest half).
@@ -204,10 +220,10 @@ func (drv *Driver) Restart() {
 		dd.v.Cache.OnDirtyChange = dd.onDirtyChange
 		dd.v.Queue.SetController(dd)
 		nr := dd.v.Cache.DirtyPages()
-		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), nr > 0)
-		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), nr)
-		drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
-		drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), false)
+		drv.dom.WriteBool(dd.kHasDirty, nr > 0)
+		drv.dom.WriteInt(dd.kNrDirty, nr)
+		drv.dom.WriteBool(dd.kFlushNow, false)
+		drv.dom.WriteBool(dd.kCongestQuery, false)
 	}
 	drv.watchID, _ = drv.dom.Watch("", drv.onStoreEvent)
 	drv.PublishWeights()
@@ -241,13 +257,16 @@ func (dd *diskDriver) onDirtyChange(nr int64) {
 			dd.nrTimer = nil
 			dd.havePending = false
 		}
-		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), false)
-		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), 0)
+		drv.dom.WriteBool(dd.kHasDirty, false)
+		drv.dom.WriteInt(dd.kNrDirty, 0)
 		return
 	}
-	if v, _ := drv.dom.ReadBool(diskKey(dd.name, keyHasDirty)); !v {
-		drv.dom.WriteBool(diskKey(dd.name, keyHasDirty), true)
-		drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), nr)
+	// The readback (not a cached mirror) is deliberate: under injected
+	// stale writes the published has_dirty can silently diverge from what
+	// we last wrote, and re-reading is what retries the lost transition.
+	if v, _ := drv.dom.ReadBool(dd.kHasDirty); !v {
+		drv.dom.WriteBool(dd.kHasDirty, true)
+		drv.dom.WriteInt(dd.kNrDirty, nr)
 		return
 	}
 	// Rate-limit nr updates: remember the latest and flush on a timer.
@@ -260,7 +279,7 @@ func (dd *diskDriver) onDirtyChange(nr int64) {
 		dd.nrTimer = nil
 		dd.havePending = false
 		if dd.pendingNr > 0 {
-			drv.dom.WriteInt(diskKey(dd.name, keyNrDirty), dd.pendingNr)
+			drv.dom.WriteInt(dd.kNrDirty, dd.pendingNr)
 		}
 	})
 }
@@ -281,14 +300,14 @@ func (dd *diskDriver) OnCongested(q *blkio.Queue) bool {
 	if !dd.everQueried || now-dd.lastQuery >= drv.QueryInterval {
 		dd.everQueried = true
 		dd.lastQuery = now
-		drv.dom.WriteBool(diskKey(dd.name, keyCongestQuery), true)
+		drv.dom.WriteBool(dd.kCongestQuery, true)
 	}
 	return true
 }
 
 // OnUncongested implements blkio.CongestionController.
 func (dd *diskDriver) OnUncongested(q *blkio.Queue) {
-	dd.drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+	dd.drv.dom.WriteBool(dd.kCongested, false)
 }
 
 // --- Store event dispatch --------------------------------------------------
@@ -343,7 +362,7 @@ func (dd *diskDriver) handleFlushNow() {
 		})
 	}
 	dd.v.Cache.Sync(nil)
-	drv.dom.WriteBool(diskKey(dd.name, keyFlushNow), false)
+	drv.dom.WriteBool(dd.kFlushNow, false)
 }
 
 // handleRelease is Algorithm 2's release branch: unplug and flush every
@@ -355,7 +374,7 @@ func (drv *Driver) handleRelease() {
 		dd := drv.disks[name]
 		dd.releasedUntil = until
 		dd.v.Queue.Release(nil)
-		drv.dom.WriteBool(diskKey(dd.name, keyCongested), false)
+		drv.dom.WriteBool(dd.kCongested, false)
 	}
 	drv.dom.WriteBool(keyReleaseRequest, false)
 }

@@ -49,6 +49,9 @@ func newFlushController(m *Manager) *flushController {
 		retries:   map[retryKey]int{},
 		withdrawn: map[retryKey]int{},
 	}
+	// Algorithm 1's mid-burst guard, taken literally: a guest whose dirty
+	// count grew within the last 200 ms is still writing — leave it alone.
+	fc.mon.SetDirtySettleWindow(200 * sim.Millisecond)
 	fc.check = cadence{k: m.k, period: m.cfg.FlushCheckInterval, tick: func() bool {
 		fc.flushTick()
 		return fc.mon.AnyDirty()
@@ -185,23 +188,15 @@ func (fc *flushController) flushTick() {
 	// i = argmax_i nr_i over guests with dirty pages, skipping guests
 	// whose dirty set is still growing — they are mid-write-burst, and a
 	// sync() now would stall exactly the VM the policy is protecting.
-	var bestDom store.DomID
-	var bestDisk string
-	var bestNr int64 = -1
-	for _, dom := range fc.mon.DirtyDoms() {
-		if !m.live.cooperative(dom) {
-			// Fallback guests are Baseline guests: their own flusher
-			// threads own the dirty pages (Algorithm 1 skips them).
-			continue
-		}
-		for _, disk := range fc.mon.DirtyDisks(dom) {
-			ds, _ := fc.mon.Dirty(dom, disk)
-			if ds.HasDirty && ds.Nr > bestNr && now-ds.LastGrow > 200*sim.Millisecond {
-				bestDom, bestDisk, bestNr = dom, disk, ds.Nr
-			}
-		}
-	}
-	if bestNr < 0 || bestNr*4096 < fc.cfg.MinFlushBytes {
+	// The Monitor keeps the candidates indexed (settled max-heap fed by
+	// the watch events above), so the decision is O(1); the stale sweep
+	// first replicates the lazy demotions the old every-dirty-dom scan
+	// performed through its per-dom cooperative() calls. Fallback guests
+	// are Baseline guests — their own flusher threads own the dirty
+	// pages, so BestDirty skips them (Algorithm 1's liveness gate).
+	m.live.sweepStale(fc.mon.Observed)
+	bestDom, bestDisk, bestNr, found := fc.mon.BestDirty(now, m.live.cooperative)
+	if !found || bestNr*4096 < fc.cfg.MinFlushBytes {
 		return
 	}
 	fc.notices++

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"iorchestra/internal/sim"
 	"iorchestra/internal/store"
 	"iorchestra/internal/trace"
@@ -33,12 +35,25 @@ type liveness struct {
 	// hooks receive demote/restore callbacks in registration order.
 	hooks []FallbackHook
 
-	lastBeat map[store.DomID]sim.Time
-	fallback map[store.DomID]*fallbackState
+	// beats holds per-guest heartbeat stamps, doubly linked in stamp
+	// order (stamps are always "now", so a beat moves its node to the
+	// back in O(1) and the stale set is always a prefix). This keeps
+	// sweepStale proportional to the number of stale guests, not the
+	// number of guests.
+	beats              map[store.DomID]*beatNode
+	beatHead, beatTail *beatNode
+	fallback           map[store.DomID]*fallbackState
 
 	heartbeatMisses uint64
 	fallbacks       uint64
 	restores        uint64
+}
+
+// beatNode is one guest's last-heartbeat stamp on the beat list.
+type beatNode struct {
+	dom        store.DomID
+	last       sim.Time
+	prev, next *beatNode
 }
 
 // fallbackState marks a guest demoted to Baseline behavior.
@@ -56,7 +71,7 @@ func newLiveness(k *sim.Kernel, st *store.Store, rec *trace.Recorder,
 		timeout:  cfg.HeartbeatTimeout,
 		penalty:  cfg.FallbackPenalty,
 		present:  present,
-		lastBeat: map[store.DomID]sim.Time{},
+		beats:    map[store.DomID]*beatNode{},
 		fallback: map[store.DomID]*fallbackState{},
 	}
 }
@@ -89,12 +104,12 @@ func (lv *liveness) cooperative(dom store.DomID) bool {
 		return false
 	}
 	if t := lv.timeout; t > 0 {
-		if last, ok := lv.lastBeat[dom]; ok && lv.k.Now()-last > t {
+		if n := lv.beats[dom]; n != nil && lv.k.Now()-n.last > t {
 			lv.heartbeatMisses++
 			if lv.rec != nil {
 				lv.rec.Record(trace.Record{
 					Kind: trace.KindHeartbeatMiss, Dom: int(dom),
-					Latency: lv.k.Now() - last,
+					Latency: lv.k.Now() - n.last,
 				})
 			}
 			lv.enterFallback(dom, "heartbeat")
@@ -104,11 +119,75 @@ func (lv *liveness) cooperative(dom store.DomID) bool {
 	return true
 }
 
+// sweepStale demotes every stale-hearted guest accepted by keep, in
+// ascending dom order. It replicates what a decision site's
+// cooperative() calls over that dom set would do, but walks only the
+// stale prefix of the beat list — O(stale guests), not O(guests). The
+// flush controller runs it with keep = Monitor.Observed before each
+// argmax, preserving the demotion side effects of the replaced
+// every-dirty-dom scan.
+func (lv *liveness) sweepStale(keep func(store.DomID) bool) {
+	if lv.timeout <= 0 {
+		return
+	}
+	now := lv.k.Now()
+	var stale []store.DomID
+	for n := lv.beatHead; n != nil && now-n.last > lv.timeout; n = n.next {
+		if lv.fallback[n.dom] == nil && lv.present(n.dom) && keep(n.dom) {
+			stale = append(stale, n.dom)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, dom := range stale {
+		lv.cooperative(dom)
+	}
+}
+
+// noteBeat stamps dom's heartbeat at now, keeping the beat list in
+// stamp order (move to back).
+func (lv *liveness) noteBeat(dom store.DomID) {
+	n := lv.beats[dom]
+	if n == nil {
+		n = &beatNode{dom: dom}
+		lv.beats[dom] = n
+	} else if n == lv.beatTail {
+		n.last = lv.k.Now()
+		return
+	} else {
+		lv.beatUnlink(n)
+	}
+	n.last = lv.k.Now()
+	n.prev = lv.beatTail
+	if lv.beatTail != nil {
+		lv.beatTail.next = n
+	} else {
+		lv.beatHead = n
+	}
+	lv.beatTail = n
+}
+
+func (lv *liveness) beatUnlink(n *beatNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		lv.beatHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		lv.beatTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
 // inFallback is the read-only probe (no lazy heartbeat check).
 func (lv *liveness) inFallback(dom store.DomID) bool { return lv.fallback[dom] != nil }
 
 func (lv *liveness) noteHeartbeat(dom store.DomID) {
-	lv.lastBeat[dom] = lv.k.Now()
+	lv.noteBeat(dom)
 	// A fallen-back guest that has served its penalty and is beating
 	// again earns its way back to collaborative mode.
 	if fb := lv.fallback[dom]; fb != nil && lv.k.Now()-fb.since >= lv.penalty {
@@ -117,7 +196,7 @@ func (lv *liveness) noteHeartbeat(dom store.DomID) {
 }
 
 func (lv *liveness) noteDriverRegistered(dom store.DomID) {
-	lv.lastBeat[dom] = lv.k.Now()
+	lv.noteBeat(dom)
 	if lv.fallback[dom] != nil {
 		lv.exitFallback(dom, "driver-registered")
 	}
@@ -151,7 +230,7 @@ func (lv *liveness) exitFallback(dom store.DomID, reason string) {
 		lv.rec.Record(trace.Record{Kind: trace.KindFallbackExit, Dom: int(dom), Value: reason})
 	}
 	lv.st.WriteBool(store.Dom0, store.DomainPath(dom)+"/"+keyFallback, false)
-	lv.lastBeat[dom] = lv.k.Now() // fresh grace window
+	lv.noteBeat(dom) // fresh grace window
 	for _, h := range lv.hooks {
 		h.OnRestore(dom)
 	}
@@ -160,10 +239,13 @@ func (lv *liveness) exitFallback(dom store.DomID, reason string) {
 // noteAttached seeds the grace window: registration counts as the first
 // heartbeat (the real one arrives through the store a notification
 // latency later).
-func (lv *liveness) noteAttached(dom store.DomID) { lv.lastBeat[dom] = lv.k.Now() }
+func (lv *liveness) noteAttached(dom store.DomID) { lv.noteBeat(dom) }
 
 // forget drops all liveness state for a removed guest.
 func (lv *liveness) forget(dom store.DomID) {
-	delete(lv.lastBeat, dom)
+	if n := lv.beats[dom]; n != nil {
+		lv.beatUnlink(n)
+		delete(lv.beats, dom)
+	}
 	delete(lv.fallback, dom)
 }

@@ -19,9 +19,43 @@ import (
 // Per-guest dirty state is fed by whoever mirrors the guest's published
 // counters (the flush controller's store-event handler) via the
 // Observe methods; everything else is sampled from the host on demand.
+//
+// The dirty mirror is indexed incrementally so Algorithm 1's
+// "argmax nr_i over settled guests" is O(log n) per update and O(1)
+// per decision instead of a per-tick scan over every guest:
+//
+//   - entries whose count grew within the settle window (mid-burst
+//     writers Algorithm 1 must leave alone) sit on the recent list,
+//     ordered by LastGrow — updates stamp the current instant, so a
+//     grown entry moves to the back in O(1) and expiry is a prefix pop;
+//   - entries past the window sit in the settled max-heap, ordered by
+//     (Nr desc, dom asc, disk asc) — exactly the winner order of the
+//     replaced scan, whose first-wins-on-ties rule resolved equal
+//     counts toward the lowest (dom, disk).
+//
+// Entries without dirty pages are in neither container. AnyDirty is a
+// counter. TestDirtyIndexMatchesScan pins index-vs-scan equivalence and
+// the golden traces pin end-to-end behavior.
 type Monitor struct {
 	h     *Host
-	dirty map[store.DomID]map[string]*DirtyState
+	dirty map[store.DomID]map[string]*dirtyEntry
+
+	dirtyCount int           // entries with HasDirty set
+	settled    []*dirtyEntry // max-heap, (Nr desc, dom asc, disk asc)
+	settleWin  sim.Duration
+	// recent list bounds, LastGrow-ascending; nil when empty.
+	recentHead, recentTail *dirtyEntry
+}
+
+// dirtyEntry is one (guest, disk) mirror plus its index position.
+type dirtyEntry struct {
+	dom  store.DomID
+	disk string
+	st   DirtyState
+
+	pos        int // settled-heap index; -1 when not in the heap
+	prev, next *dirtyEntry
+	listed     bool // on the recent list
 }
 
 // DirtyState is the monitoring module's view of one (guest, disk)
@@ -51,7 +85,7 @@ type CoreSnapshot struct {
 // Monitor returns the host's monitoring module, creating it on first use.
 func (h *Host) Monitor() *Monitor {
 	if h.mon == nil {
-		h.mon = &Monitor{h: h, dirty: map[store.DomID]map[string]*DirtyState{}}
+		h.mon = &Monitor{h: h, dirty: map[store.DomID]map[string]*dirtyEntry{}}
 	}
 	return h.mon
 }
@@ -118,23 +152,40 @@ func (mo *Monitor) ActiveVCPUs() int {
 	return n
 }
 
+// SetDirtySettleWindow sets how long a dirty count must stop growing
+// before its entry is considered settled (Algorithm 1's mid-burst
+// guard). The flush controller configures it at attach; changing the
+// window does not re-shelve existing entries, so set it before traffic.
+func (mo *Monitor) SetDirtySettleWindow(d sim.Duration) { mo.settleWin = d }
+
 // ObserveDirty records a guest's has_dirty_pages transition and reports
 // the new presence bit (the caller arms its check cadence on true).
 func (mo *Monitor) ObserveDirty(dom store.DomID, disk string, has bool) {
 	byDisk := mo.dirty[dom]
 	if byDisk == nil {
-		byDisk = map[string]*DirtyState{}
+		byDisk = map[string]*dirtyEntry{}
 		mo.dirty[dom] = byDisk
 	}
-	ds := byDisk[disk]
-	if ds == nil {
-		ds = &DirtyState{}
-		byDisk[disk] = ds
+	e := byDisk[disk]
+	if e == nil {
+		e = &dirtyEntry{dom: dom, disk: disk, pos: -1}
+		byDisk[disk] = e
 	}
-	ds.HasDirty = has
+	if has == e.st.HasDirty {
+		if !has {
+			e.st.Nr = 0
+		}
+		return
+	}
+	e.st.HasDirty = has
 	if !has {
-		ds.Nr = 0
+		e.st.Nr = 0
+		mo.unindex(e)
+		mo.dirtyCount--
+		return
 	}
+	mo.dirtyCount++
+	mo.index(e, mo.h.k.Now())
 }
 
 // ObserveNrDirty records a guest's published nr_dirty count, stamping
@@ -145,27 +196,57 @@ func (mo *Monitor) ObserveNrDirty(dom store.DomID, disk string, nr int64) {
 	if byDisk == nil {
 		return
 	}
-	if ds := byDisk[disk]; ds != nil {
-		if nr > ds.Nr {
-			ds.LastGrow = mo.h.k.Now()
+	e := byDisk[disk]
+	if e == nil {
+		return
+	}
+	if nr > e.st.Nr {
+		e.st.Nr = nr
+		e.st.LastGrow = mo.h.k.Now()
+		// A growing entry is mid-burst: shelve it on the recent list
+		// (move-to-back keeps the list LastGrow-ordered, since stamps
+		// are monotone).
+		if e.pos >= 0 {
+			mo.heapRemove(e)
 		}
-		ds.Nr = nr
+		if e.listed {
+			mo.listRemove(e)
+		}
+		if e.st.HasDirty {
+			mo.listPushBack(e)
+		}
+		return
+	}
+	if nr == e.st.Nr {
+		return
+	}
+	e.st.Nr = nr
+	if e.pos >= 0 {
+		// Shrank in place: restore heap order (a smaller key only sinks).
+		mo.siftDown(e.pos)
 	}
 }
 
 // ForgetGuest drops all dirty state for a removed or demoted guest.
-func (mo *Monitor) ForgetGuest(dom store.DomID) { delete(mo.dirty, dom) }
+func (mo *Monitor) ForgetGuest(dom store.DomID) {
+	for _, e := range mo.dirty[dom] {
+		if e.st.HasDirty {
+			mo.dirtyCount--
+		}
+		mo.unindex(e)
+	}
+	delete(mo.dirty, dom)
+}
 
 // AnyDirty reports whether any observed guest disk holds dirty pages.
-func (mo *Monitor) AnyDirty() bool {
-	for _, byDisk := range mo.dirty {
-		for _, ds := range byDisk {
-			if ds.HasDirty {
-				return true
-			}
-		}
-	}
-	return false
+func (mo *Monitor) AnyDirty() bool { return mo.dirtyCount > 0 }
+
+// Observed reports whether any dirty state has been recorded for dom —
+// the set the flush controller's liveness sweep runs over (it mirrors
+// the demotion side effects of the replaced DirtyDoms scan).
+func (mo *Monitor) Observed(dom store.DomID) bool {
+	_, ok := mo.dirty[dom]
+	return ok
 }
 
 // DirtyDoms lists domains with observed dirty state in ascending order —
@@ -192,8 +273,176 @@ func (mo *Monitor) DirtyDisks(dom store.DomID) []string {
 
 // Dirty returns the state for one (guest, disk) pair.
 func (mo *Monitor) Dirty(dom store.DomID, disk string) (DirtyState, bool) {
-	if ds := mo.dirty[dom][disk]; ds != nil {
-		return *ds, true
+	if e := mo.dirty[dom][disk]; e != nil {
+		return e.st, true
 	}
 	return DirtyState{}, false
+}
+
+// BestDirty returns Algorithm 1's argmax: the settled entry with the
+// most dirty pages, lowest (dom, disk) first on ties, skipping domains
+// rejected by ok (fallback guests whose flusher owns their pages).
+// Entries whose count last grew within the settle window of now are
+// mid-burst and never returned. The winner stays indexed — it leaves
+// the heap only when its dirty pages do.
+func (mo *Monitor) BestDirty(now sim.Time, ok func(store.DomID) bool) (dom store.DomID, disk string, nr int64, found bool) {
+	// Promote entries whose burst has settled (LastGrow-ordered prefix).
+	for e := mo.recentHead; e != nil && now-e.st.LastGrow > mo.settleWin; e = mo.recentHead {
+		mo.listRemove(e)
+		mo.heapPush(e)
+	}
+	// Pop rejected domains aside, then restore them: rejection is a
+	// liveness verdict about the guest, not about its dirty pages.
+	var stash []*dirtyEntry
+	for len(mo.settled) > 0 {
+		top := mo.settled[0]
+		if ok == nil || ok(top.dom) {
+			dom, disk, nr, found = top.dom, top.disk, top.st.Nr, true
+			break
+		}
+		mo.heapRemove(top)
+		stash = append(stash, top)
+	}
+	for _, e := range stash {
+		mo.heapPush(e)
+	}
+	return dom, disk, nr, found
+}
+
+// index shelves a newly dirty entry: onto the recent list when its last
+// growth is within the settle window of now, else into the settled heap.
+func (mo *Monitor) index(e *dirtyEntry, now sim.Time) {
+	if now-e.st.LastGrow > mo.settleWin {
+		mo.heapPush(e)
+		return
+	}
+	// Insert in LastGrow order from the back; re-dirtied entries carry a
+	// fresh-enough stamp that this walk is short.
+	at := mo.recentTail
+	for at != nil && at.st.LastGrow > e.st.LastGrow {
+		at = at.prev
+	}
+	mo.listInsertAfter(e, at)
+}
+
+// unindex removes an entry from whichever container holds it.
+func (mo *Monitor) unindex(e *dirtyEntry) {
+	if e.pos >= 0 {
+		mo.heapRemove(e)
+	}
+	if e.listed {
+		mo.listRemove(e)
+	}
+}
+
+// DirtyOrderInvertedForTest flips the settled-heap comparison — the
+// argmax becomes an argmin and ties resolve to the highest dom — so the
+// golden perturbation self-test can prove the fixtures pin the index's
+// exact winner order. Nothing but that test may set it: an index whose
+// order quietly diverged from the replaced scan's semantics must fail
+// trace parity, not ship.
+var DirtyOrderInvertedForTest = false
+
+// dirtyLess orders the settled heap: most dirty pages first, ties to
+// the lowest (dom, disk) — the winner order of the replaced scan.
+func dirtyLess(a, b *dirtyEntry) bool {
+	if a.st.Nr != b.st.Nr {
+		if DirtyOrderInvertedForTest {
+			return a.st.Nr < b.st.Nr
+		}
+		return a.st.Nr > b.st.Nr
+	}
+	if a.dom != b.dom {
+		if DirtyOrderInvertedForTest {
+			return a.dom > b.dom
+		}
+		return a.dom < b.dom
+	}
+	return a.disk < b.disk
+}
+
+func (mo *Monitor) heapPush(e *dirtyEntry) {
+	e.pos = len(mo.settled)
+	mo.settled = append(mo.settled, e)
+	mo.siftUp(e.pos)
+}
+
+func (mo *Monitor) heapRemove(e *dirtyEntry) {
+	i, last := e.pos, len(mo.settled)-1
+	mo.settled[i] = mo.settled[last]
+	mo.settled[i].pos = i
+	mo.settled[last] = nil
+	mo.settled = mo.settled[:last]
+	e.pos = -1
+	if i < last {
+		mo.siftDown(i)
+		mo.siftUp(i)
+	}
+}
+
+func (mo *Monitor) siftUp(i int) {
+	h := mo.settled
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !dirtyLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].pos, h[parent].pos = i, parent
+		i = parent
+	}
+}
+
+func (mo *Monitor) siftDown(i int) {
+	h := mo.settled
+	n := len(h)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && dirtyLess(h[l], h[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && dirtyLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		h[i].pos, h[best].pos = i, best
+		i = best
+	}
+}
+
+func (mo *Monitor) listPushBack(e *dirtyEntry) { mo.listInsertAfter(e, mo.recentTail) }
+
+// listInsertAfter links e after at (at == nil inserts at the head).
+func (mo *Monitor) listInsertAfter(e, at *dirtyEntry) {
+	e.listed = true
+	e.prev = at
+	if at == nil {
+		e.next = mo.recentHead
+		mo.recentHead = e
+	} else {
+		e.next = at.next
+		at.next = e
+	}
+	if e.next != nil {
+		e.next.prev = e
+	} else {
+		mo.recentTail = e
+	}
+}
+
+func (mo *Monitor) listRemove(e *dirtyEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		mo.recentHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		mo.recentTail = e.prev
+	}
+	e.prev, e.next, e.listed = nil, nil, false
 }

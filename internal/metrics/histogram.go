@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"iorchestra/internal/sim"
@@ -35,7 +36,7 @@ func bucketIndex(v int64) int {
 		return int(v)
 	}
 	// Position of the highest set bit.
-	exp := 63 - leadingZeros64(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	top := exp - subBucketBits
 	sub := int(v>>uint(top)) & (subBucketCount - 1)
 	return (top+1)*subBucketCount + sub
@@ -50,18 +51,6 @@ func bucketLow(i int) int64 {
 	top := i/subBucketCount - 1
 	sub := i % subBucketCount
 	return (int64(subBucketCount) + int64(sub)) << uint(top)
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // NewHistogram returns an empty histogram.

@@ -82,6 +82,9 @@ type Cache struct {
 	inFlight    int   // writeback requests outstanding
 	wbTarget    int64 // flush until dirtyPages <= wbTarget (-1: not flushing)
 
+	hardPages int64 // precomputed hardLimit
+	bgPages   int64 // precomputed bgLimit
+
 	throttledW   *sim.WaitQueue
 	syncWaits    []func()
 	timer        *sim.Event // flusher wakeup, armed only while dirty
@@ -109,6 +112,8 @@ func New(k *sim.Kernel, cfg Config, q *blkio.Queue, owner int) *Cache {
 		queue:      q,
 		owner:      owner,
 		wbTarget:   -1,
+		hardPages:  int64(float64(cfg.TotalPages) * cfg.DirtyRatio),
+		bgPages:    int64(float64(cfg.TotalPages) * cfg.BackgroundRatio),
 		throttledW: sim.NewWaitQueue(k),
 	}
 	return c
@@ -159,13 +164,10 @@ func (c *Cache) WrittenBytes() float64 { return c.written.Total() }
 // WrittenBackBytes reports bytes flushed to storage.
 func (c *Cache) WrittenBackBytes() float64 { return c.writtenBack.Total() }
 
-// hardLimit and bgLimit in pages.
-func (c *Cache) hardLimit() int64 {
-	return int64(float64(c.cfg.TotalPages) * c.cfg.DirtyRatio)
-}
-func (c *Cache) bgLimit() int64 {
-	return int64(float64(c.cfg.TotalPages) * c.cfg.BackgroundRatio)
-}
+// hardLimit and bgLimit in pages, fixed at construction (they sit on the
+// per-write path).
+func (c *Cache) hardLimit() int64 { return c.hardPages }
+func (c *Cache) bgLimit() int64   { return c.bgPages }
 
 // Write buffers size bytes; done fires when the write call returns to the
 // application (after the memory copy, or later if the writer was
@@ -173,6 +175,21 @@ func (c *Cache) bgLimit() int64 {
 // asynchronously via writeback.
 func (c *Cache) Write(size int64, done func()) {
 	c.tryWrite(size, done)
+}
+
+// WriteAt buffers like Write and reports the virtual time at which the
+// write call returns to the application, with ok=false (and nothing
+// buffered) when the writer would be throttled at the dirty ratio — the
+// caller must fall back to Write and its callback then. Nothing the
+// model does between buffering and the memory copy completing can change
+// the returned instant, so answering inline is exact, and a metric-only
+// writer costs no calendar event — at scale those per-write wakeups are
+// the most numerous events in the simulation.
+func (c *Cache) WriteAt(size int64) (at sim.Time, ok bool) {
+	if c.dirtyPages >= c.hardLimit() {
+		return 0, false
+	}
+	return c.k.Now() + c.buffer(size), true
 }
 
 func (c *Cache) tryWrite(size int64, done func()) {
@@ -184,6 +201,15 @@ func (c *Cache) tryWrite(size int64, done func()) {
 		c.throttledW.Wait(func() { c.tryWrite(size, done) })
 		return
 	}
+	copyTime := c.buffer(size)
+	if done != nil {
+		c.k.After(copyTime, done)
+	}
+}
+
+// buffer dirties the pages of one accepted (un-throttled) write and
+// returns the memory-copy time the write call spends before returning.
+func (c *Cache) buffer(size int64) sim.Duration {
 	pages := (size + PageSize - 1) / PageSize
 	if c.dirtyPages == 0 {
 		c.oldestDirty = c.k.Now()
@@ -194,9 +220,7 @@ func (c *Cache) tryWrite(size int64, done func()) {
 	if c.dirtyPages >= c.bgLimit() {
 		c.kickWriteback(c.bgLimit())
 	}
-	if done != nil {
-		c.k.After(copyTime, done)
-	}
+	return copyTime
 }
 
 func (c *Cache) setDirty(nr int64) {

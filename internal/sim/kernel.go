@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -21,33 +20,155 @@ func (e *Event) At() Time { return e.at }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
+// heapSlot is one calendar entry with the ordering key held inline, so
+// sift comparisons read sequential heap memory instead of dereferencing
+// two Events per compare — the difference profiles as the simulator's
+// hottest loop at scale. e.at/e.seq mirror the slot key; Reschedule
+// rewrites both.
+type heapSlot struct {
+	at  Time
+	seq uint64
+	e   *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventHeap is a 4-ary min-heap ordered by (at, seq). The comparison is
+// a strict total order (seq is unique), so dispatch order is identical
+// for any valid heap shape — the arity and the hole-based sifts are
+// pure mechanical sympathy: one level per four contiguous children and
+// one slot store per level, instead of container/heap's interface calls
+// and pairwise swaps.
+type eventHeap []heapSlot
+
+func slotBefore(a, b heapSlot) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// siftUp moves h[i] toward the root until its parent fires no later.
+func (h eventHeap) siftUp(i int) {
+	s := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !slotBefore(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].e.index = i
+		i = p
+	}
+	h[i] = s
+	s.e.index = i
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// siftDown moves h[i] toward the leaves until no child fires earlier.
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	s := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if slotBefore(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !slotBefore(h[m], s) {
+			break
+		}
+		h[i] = h[m]
+		h[i].e.index = i
+		i = m
+	}
+	h[i] = s
+	s.e.index = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+// push appends e and restores heap order.
+func (k *Kernel) pushEvent(e *Event) {
+	e.index = len(k.events)
+	k.events = append(k.events, heapSlot{at: e.at, seq: e.seq, e: e})
+	k.events.siftUp(e.index)
+}
+
+// popEvent removes and returns the earliest event.
+func (k *Kernel) popEvent() *Event {
+	h := k.events
+	e := h[0].e
+	n := len(h) - 1
+	last := h[n]
+	h[n] = heapSlot{}
+	k.events = h[:n]
 	e.index = -1
-	*h = old[:n-1]
+	if n == 0 {
+		return e
+	}
+	h = h[:n]
+	// Bottom-up reinsertion (Wegener's heapsort trick): walk the root hole
+	// down the min-child path to a leaf, then sift the displaced bottom
+	// slot up from there. The displaced slot almost always belongs near a
+	// leaf, so this saves the per-level comparison against it that a
+	// classic siftDown pays on the simulator's hottest loop.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if slotBefore(h[j], h[m]) {
+				m = j
+			}
+		}
+		h[i] = h[m]
+		h[i].e.index = i
+		i = m
+	}
+	h[i] = last
+	h.siftUp(i)
 	return e
+}
+
+// removeEvent deletes the event at index i.
+func (k *Kernel) removeEvent(i int) {
+	h := k.events
+	n := len(h) - 1
+	e := h[i].e
+	last := h[n]
+	h[n] = heapSlot{}
+	k.events = h[:n]
+	e.index = -1
+	if i < n {
+		h[i] = last
+		last.e.index = i
+		k.events.siftDown(i)
+		if last.e.index == i {
+			k.events.siftUp(i)
+		}
+	}
+}
+
+// fixEvent restores heap order after h[i]'s event key changed.
+func (k *Kernel) fixEvent(i int) {
+	e := k.events[i].e
+	k.events[i].at, k.events[i].seq = e.at, e.seq
+	k.events.siftDown(i)
+	if e.index == i {
+		k.events.siftUp(i)
+	}
 }
 
 // Kernel is a discrete-event simulation executive. The zero value is ready
@@ -58,6 +179,13 @@ type Kernel struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+
+	// slab batches Event allocations: events are transient but numerous
+	// (one per scheduled callback), so handing them out of a chunk cuts
+	// allocator round trips ~64x. Events are never recycled — a retained
+	// handle stays valid after its event fires — the chunk just amortizes
+	// the malloc.
+	slab []Event
 
 	// executed counts dispatched (non-canceled) events, for tests and
 	// runaway detection.
@@ -87,9 +215,14 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	if len(k.slab) == 0 {
+		k.slab = make([]Event, 64)
+	}
+	e := &k.slab[0]
+	k.slab = k.slab[1:]
+	e.at, e.seq, e.fn, e.index = t, k.seq, fn, -1
 	k.seq++
-	heap.Push(&k.events, e)
+	k.pushEvent(e)
 	return e
 }
 
@@ -104,8 +237,7 @@ func (k *Kernel) Cancel(e *Event) {
 	}
 	e.canceled = true
 	if e.index >= 0 {
-		heap.Remove(&k.events, e.index)
-		e.index = -1
+		k.removeEvent(e.index)
 	}
 	e.fn = nil
 }
@@ -124,7 +256,7 @@ func (k *Kernel) Reschedule(e *Event, t Time) bool {
 	e.at = t
 	e.seq = k.seq
 	k.seq++
-	heap.Fix(&k.events, e.index)
+	k.fixEvent(e.index)
 	return true
 }
 
@@ -132,21 +264,16 @@ func (k *Kernel) Reschedule(e *Event, t Time) bool {
 // timestamp. It reports false when the calendar is empty or the kernel has
 // been stopped.
 func (k *Kernel) Step() bool {
-	for {
-		if k.stopped || len(k.events) == 0 {
-			return false
-		}
-		e := heap.Pop(&k.events).(*Event)
-		if e.canceled {
-			continue
-		}
-		k.now = e.at
-		fn := e.fn
-		e.fn = nil
-		k.executed++
-		fn()
-		return true
+	if k.stopped || len(k.events) == 0 {
+		return false
 	}
+	e := k.popEvent()
+	k.now = e.at
+	fn := e.fn
+	e.fn = nil
+	k.executed++
+	fn()
+	return true
 }
 
 // Run dispatches events until the calendar is empty or Stop is called.
@@ -159,15 +286,7 @@ func (k *Kernel) Run() {
 // to exactly t (if the simulation has not been stopped earlier). Events
 // scheduled beyond t remain queued.
 func (k *Kernel) RunUntil(t Time) {
-	for !k.stopped && len(k.events) > 0 {
-		next := k.events[0]
-		if next.canceled {
-			heap.Pop(&k.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= t {
 		k.Step()
 	}
 	if !k.stopped && k.now < t {
@@ -189,7 +308,8 @@ func (k *Kernel) Every(d Duration, fn func()) *Ticker {
 		panic("sim: Every with non-positive period")
 	}
 	t := &Ticker{k: k, period: d, fn: fn}
-	t.ev = k.After(d, t.tick)
+	t.tickFn = t.tick // bind the method value once; rearming reuses it
+	t.ev = k.After(d, t.tickFn)
 	return t
 }
 
@@ -198,6 +318,7 @@ type Ticker struct {
 	k       *Kernel
 	period  Duration
 	fn      func()
+	tickFn  func() // t.tick, bound once — a method value allocates per use
 	ev      *Event
 	stopped bool
 }
@@ -208,7 +329,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have stopped us
-		t.ev = t.k.After(t.period, t.tick)
+		t.ev = t.k.After(t.period, t.tickFn)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"iorchestra/internal/sim"
 	"iorchestra/internal/trace"
@@ -78,6 +79,10 @@ type watch struct {
 	prefix []string
 	bucket string
 	fn     func(path, value string)
+	// removed is the delivery-time tombstone: XenStore drops events whose
+	// watch was removed while they were queued. An atomic flag lets the
+	// fan-out check it without retaking watchMu per delivery.
+	removed atomic.Bool
 }
 
 // Store is the system store. Create with New.
@@ -105,12 +110,30 @@ type Store struct {
 	// match instead of the whole table. Each bucket is kept in ascending
 	// id order — ids are handed out monotonically, so registration is an
 	// append — which makes the delivery order deterministic without a
-	// per-fire sort.
-	watchBuckets map[string][]*watch
-	nextWatch    WatchID
+	// per-fire sort. Buckets are indirected through a stable struct so
+	// the path cache can hold the pointer and fan-out skips the map.
+	watchBuckets map[string]*watchBucket
+	// structWB is the "" bucket (structural prefixes), consulted on every
+	// fire; held directly so the hot path never looks it up.
+	structWB  *watchBucket
+	nextWatch WatchID
 	// matchScratch is fireWatches's reusable candidate buffer; safe
 	// because fireWatches only runs on the kernel goroutine.
 	matchScratch []*watch
+	// partsScratch is splitScratch's reusable tokenization buffer, under
+	// the same kernel-goroutine discipline.
+	partsScratch []string
+	// pathCache memoizes path resolution for the hot read/write keys: one
+	// full-path lookup replaces tokenizing plus a map access per segment.
+	// A node stays resolvable until a Remove covers it, so Remove is the
+	// only invalidation point (AddDomain recreates a home under a fresh
+	// node, but any cached descendants died with the Remove that made the
+	// recreation possible). Kernel-goroutine discipline, like the tree.
+	pathCache map[string]*pathEntry
+	// cacheGen counts invalidatePaths calls; Cursors compare it to know
+	// their pinned entry survived (Removes are control-plane rare, so the
+	// occasional full re-pin is cheap).
+	cacheGen uint64
 
 	// rec, when set, receives store.write and store.watch trace records.
 	rec *trace.Recorder
@@ -121,8 +144,10 @@ type Store struct {
 	faults *FaultHooks
 
 	// Cheap-reconnect sync state (sync.go): rolling per-subtree content
-	// hashes plus a bounded (version, path) mutation journal.
-	subHashes      map[string]uint64
+	// hashes plus a bounded (version, path) mutation journal. Cells are
+	// pointers so the path cache can pin a key's bucket cell and the
+	// per-write fold skips the map.
+	subHashes      map[string]*uint64
 	journal        []journalEntry
 	journalCap     int
 	evictedThrough uint64
@@ -160,29 +185,92 @@ func (s *Store) FaultStats() (droppedWrites, droppedNotifies, delayedNotifies ui
 // between a write and delivery of watch callbacks (the XenBus event-channel
 // round trip; tens of microseconds on the paper's hardware).
 func New(k *sim.Kernel, notifyLatency sim.Duration) *Store {
+	structWB := &watchBucket{}
 	return &Store{
 		k:             k,
 		root:          &node{owner: Dom0},
 		watches:       map[WatchID]*watch{},
+		watchBuckets:  map[string]*watchBucket{"": structWB},
+		structWB:      structWB,
 		notifyLatency: notifyLatency,
 	}
 }
 
+// watchBucket holds one bucket's watches behind a stable pointer: the
+// slice header mutates under watchMu, the struct never moves, so cached
+// references (pathEntry.wb, structWB) stay valid across registration.
+type watchBucket struct {
+	ws []*watch
+}
+
+// bucketFor returns (creating if needed) the bucket for key b. Callers
+// must hold watchMu.
+func (s *Store) bucketFor(b string) *watchBucket {
+	wb := s.watchBuckets[b]
+	if wb == nil {
+		wb = &watchBucket{}
+		s.watchBuckets[b] = wb
+	}
+	return wb
+}
+
+// hashCell returns (creating if needed) the subtree-hash cell for bucket
+// b. Kernel-goroutine only, like the tree.
+func (s *Store) hashCell(b string) *uint64 {
+	if s.subHashes == nil {
+		s.subHashes = map[string]*uint64{}
+	}
+	p := s.subHashes[b]
+	if p == nil {
+		p = new(uint64)
+		s.subHashes[b] = p
+	}
+	return p
+}
+
 // split validates and tokenizes a path like /local/domain/3/virt-dev/xvda.
 func split(path string) ([]string, error) {
+	return splitInto(path, nil)
+}
+
+// splitInto is split with a caller-supplied parts buffer, so the hot
+// store operations tokenize without allocating. The returned segments
+// are substrings of path.
+func splitInto(path string, buf []string) ([]string, error) {
 	if path == "" || path[0] != '/' {
 		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
 	}
 	if path == "/" {
 		return nil, nil
 	}
-	parts := strings.Split(path[1:], "/")
-	for _, p := range parts {
-		if p == "" {
+	parts := buf[:0]
+	rest := path[1:]
+	for {
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			if rest == "" {
+				return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+			}
+			return append(parts, rest), nil
+		}
+		if i == 0 {
 			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
 		}
+		parts = append(parts, rest[:i])
+		rest = rest[i+1:]
 	}
-	return parts, nil
+}
+
+// splitScratch tokenizes into the store's reusable parts buffer. Like
+// matchScratch it leans on the kernel-goroutine discipline for node
+// operations; callers must not retain the result past their own return
+// (Watch, which retains its prefix, uses split instead).
+func (s *Store) splitScratch(path string) ([]string, error) {
+	parts, err := splitInto(path, s.partsScratch)
+	if cap(parts) > cap(s.partsScratch) {
+		s.partsScratch = parts
+	}
+	return parts, err
 }
 
 // Root is the top of the per-domain namespace, mirroring XenStore's
@@ -249,6 +337,104 @@ func (s *Store) lookup(parts []string) *node {
 	return n
 }
 
+// pathEntry is one memoized resolution: the tokenized path, the node it
+// names, the path's node-hash prefix state, and pinned pointers to the
+// path's hash cell and watch bucket — everything a hot-key write needs,
+// so the whole operation costs one map access. parts is owned by the
+// entry (never a scratch alias).
+type pathEntry struct {
+	parts []string
+	n     *node
+	hpath uint64  // pathHashState(path): per-write hashing starts at the value
+	hash  *uint64 // subtree-hash cell for the path's bucket
+	wb    *watchBucket
+}
+
+// cachePath memoizes a successful resolution. parts may alias a scratch
+// buffer; the entry stores a private copy.
+func (s *Store) cachePath(path string, parts []string, n *node) *pathEntry {
+	if s.pathCache == nil {
+		s.pathCache = map[string]*pathEntry{}
+	}
+	b := bucketOf(parts)
+	e := &pathEntry{parts: append([]string(nil), parts...), n: n, hpath: pathHashState(path)}
+	e.hash = s.hashCell(b)
+	s.watchMu.Lock()
+	e.wb = s.bucketFor(b)
+	s.watchMu.Unlock()
+	s.pathCache[path] = e
+	return e
+}
+
+// invalidatePaths drops every cached resolution at or below path, ahead
+// of the subtree's removal. Removes are control-plane rare; the scan is
+// the price of keeping the per-operation hot path to a single lookup.
+func (s *Store) invalidatePaths(path string) {
+	s.cacheGen++
+	for p := range s.pathCache {
+		if strings.HasPrefix(p, path) && (len(p) == len(path) || p[len(path)] == '/') {
+			delete(s.pathCache, p)
+		}
+	}
+}
+
+// Cursor pins one path's resolution across repeated operations: the
+// in-process bus handle keeps one per hot key, so a driver heartbeat
+// costs a generation compare instead of hashing the absolute path on
+// every store call. Obtain with Store.CursorFor; use from the kernel
+// goroutine only, like every node operation.
+type Cursor struct {
+	path string
+	e    *pathEntry
+	gen  uint64
+}
+
+// CursorFor returns a cursor for path. The path need not exist yet; the
+// cursor pins its resolution on first successful use.
+func (s *Store) CursorFor(path string) *Cursor { return &Cursor{path: path} }
+
+// Path reports the absolute path the cursor stands for.
+func (c *Cursor) Path() string { return c.path }
+
+// cursorEntry returns the pinned entry, re-pinning from the path cache
+// after an invalidation (nil when the path has no cached resolution).
+func (s *Store) cursorEntry(c *Cursor) *pathEntry {
+	if c.e != nil && c.gen == s.cacheGen {
+		return c.e
+	}
+	c.e, c.gen = s.pathCache[c.path], s.cacheGen
+	return c.e
+}
+
+// WriteCursor is Write through a pinned cursor.
+func (s *Store) WriteCursor(dom DomID, c *Cursor, value string) error {
+	if e := s.cursorEntry(c); e != nil {
+		return s.writeEntry(dom, e, c.path, value, -1)
+	}
+	if err := s.Write(dom, c.path, value); err != nil {
+		return err
+	}
+	c.e, c.gen = s.pathCache[c.path], s.cacheGen
+	return nil
+}
+
+// ReadCursor is Read through a pinned cursor.
+func (s *Store) ReadCursor(dom DomID, c *Cursor) (string, error) {
+	e := s.cursorEntry(c)
+	if e == nil {
+		v, err := s.Read(dom, c.path)
+		if err == nil {
+			c.e, c.gen = s.pathCache[c.path], s.cacheGen
+		}
+		return v, err
+	}
+	if !canRead(e.n, dom) {
+		return "", fmt.Errorf("%w: dom%d reading %s", ErrPermission, dom, c.path)
+	}
+	s.reads++
+	return e.n.value, nil
+}
+
 // canRead reports whether dom may read node n. Dom0 reads everything; the
 // owner reads its own nodes; explicit grants extend access.
 func canRead(n *node, dom DomID) bool {
@@ -267,13 +453,16 @@ func canWrite(n *node, dom DomID) bool {
 
 // Read returns the value at path on behalf of dom.
 func (s *Store) Read(dom DomID, path string) (string, error) {
-	parts, err := split(path)
-	if err != nil {
-		return "", err
-	}
-	n := s.lookup(parts)
+	n := s.pathNode(path)
 	if n == nil {
-		return "", fmt.Errorf("%w: %s", ErrNoEntry, path)
+		parts, err := s.splitScratch(path)
+		if err != nil {
+			return "", err
+		}
+		if n = s.lookup(parts); n == nil {
+			return "", fmt.Errorf("%w: %s", ErrNoEntry, path)
+		}
+		s.cachePath(path, parts, n)
 	}
 	if !canRead(n, dom) {
 		return "", fmt.Errorf("%w: dom%d reading %s", ErrPermission, dom, path)
@@ -282,37 +471,57 @@ func (s *Store) Read(dom DomID, path string) (string, error) {
 	return n.value, nil
 }
 
+// pathNode returns the memoized node for path, or nil on a cache miss.
+func (s *Store) pathNode(path string) *node {
+	if e := s.pathCache[path]; e != nil {
+		return e.n
+	}
+	return nil
+}
+
 // Write sets the value at path on behalf of dom, creating intermediate
 // nodes owned by dom as needed. Writing to another domain's subtree
 // requires an explicit write grant on the closest existing ancestor.
 func (s *Store) Write(dom DomID, path, value string) error {
-	parts, err := split(path)
-	if err != nil {
-		return err
-	}
-	if len(parts) == 0 {
-		return fmt.Errorf("%w: cannot write root", ErrBadPath)
-	}
-	n := s.root
 	firstCreated := -1 // index of the shallowest node this write created
-	for i, p := range parts {
-		child := n.child(p)
-		if child == nil {
-			if !canWrite(n, dom) {
-				return fmt.Errorf("%w: dom%d creating under %s", ErrPermission, dom, path)
-			}
-			child = &node{owner: dom}
-			if n.children == nil {
-				n.children = map[string]*node{}
-			}
-			n.children[p] = child
-			n.sorted = nil
-			if firstCreated < 0 {
-				firstCreated = i
-			}
+	e := s.pathCache[path]
+	if e == nil {
+		parts, err := s.splitScratch(path)
+		if err != nil {
+			return err
 		}
-		n = child
+		if len(parts) == 0 {
+			return fmt.Errorf("%w: cannot write root", ErrBadPath)
+		}
+		n := s.root
+		for i, p := range parts {
+			child := n.child(p)
+			if child == nil {
+				if !canWrite(n, dom) {
+					return fmt.Errorf("%w: dom%d creating under %s", ErrPermission, dom, path)
+				}
+				child = &node{owner: dom}
+				if n.children == nil {
+					n.children = map[string]*node{}
+				}
+				n.children[p] = child
+				n.sorted = nil
+				if firstCreated < 0 {
+					firstCreated = i
+				}
+			}
+			n = child
+		}
+		e = s.cachePath(path, parts, n)
 	}
+	return s.writeEntry(dom, e, path, value, firstCreated)
+}
+
+// writeEntry applies a write through a resolved cache entry; firstCreated
+// is the index of the shallowest node the resolution created (-1 when the
+// whole chain already existed).
+func (s *Store) writeEntry(dom DomID, e *pathEntry, path, value string, firstCreated int) error {
+	parts, n := e.parts, e.n
 	if !canWrite(n, dom) {
 		return fmt.Errorf("%w: dom%d writing %s", ErrPermission, dom, path)
 	}
@@ -335,13 +544,15 @@ func (s *Store) Write(dom DomID, path, value string) error {
 	if firstCreated >= 0 {
 		s.noteCreated(parts, firstCreated, s.version)
 	}
-	s.noteNode(parts, path, old)   // fold out the prior leaf content
-	s.noteNode(parts, path, value) // fold in the new leaf content
+	// Fold the prior leaf content out of the subtree hash and the new
+	// content in — the entry pins the bucket cell, and the memoized path
+	// prefix state means only the values get hashed.
+	*e.hash ^= mixString(e.hpath, old) ^ mixString(e.hpath, value)
 	s.journalAppend(s.version, path, false)
 	if s.rec != nil {
 		s.rec.Record(trace.Record{Kind: trace.KindStoreWrite, Dom: int(dom), Path: path, Value: value})
 	}
-	s.fireWatches(parts, path, value)
+	s.fireWatches(e.wb, parts, n, path, value)
 	return nil
 }
 
@@ -351,7 +562,7 @@ func (s *Store) SetRecorder(r *trace.Recorder) { s.rec = r }
 
 // Remove deletes the node at path (and its subtree) on behalf of dom.
 func (s *Store) Remove(dom DomID, path string) error {
-	parts, err := split(path)
+	parts, err := s.splitScratch(path)
 	if err != nil {
 		return err
 	}
@@ -370,6 +581,7 @@ func (s *Store) Remove(dom DomID, path string) error {
 	if !canWrite(n, dom) {
 		return fmt.Errorf("%w: dom%d removing %s", ErrPermission, dom, path)
 	}
+	s.invalidatePaths(path)
 	s.unhashSubtree(parts, path, n)
 	delete(parent.children, name)
 	parent.sorted = nil
@@ -377,13 +589,18 @@ func (s *Store) Remove(dom DomID, path string) error {
 	// Journal only the subtree root, flagged as a removal: sync clients
 	// prune by prefix, even if the path is recreated later.
 	s.journalAppend(s.version, path, true)
-	s.fireWatches(parts, path, "")
+	// The node is gone: nil keeps the XenStore behavior of delivering the
+	// removal to every matching watcher without a readability filter.
+	s.watchMu.Lock()
+	wb := s.bucketFor(bucketOf(parts))
+	s.watchMu.Unlock()
+	s.fireWatches(wb, parts, nil, path, "")
 	return nil
 }
 
 // List returns the sorted child names under path readable by dom.
 func (s *Store) List(dom DomID, path string) ([]string, error) {
-	parts, err := split(path)
+	parts, err := s.splitScratch(path)
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +647,7 @@ func (s *Store) Grant(dom DomID, path string, target DomID, perm Perm) error {
 
 // Exists reports whether path names a node, regardless of readability.
 func (s *Store) Exists(path string) bool {
-	parts, err := split(path)
+	parts, err := s.splitScratch(path)
 	if err != nil {
 		return false
 	}
@@ -453,10 +670,8 @@ func (s *Store) Watch(dom DomID, prefix string, fn func(path, value string)) (Wa
 	b := bucketOf(parts)
 	w := &watch{id: id, dom: dom, prefix: parts, bucket: b, fn: fn}
 	s.watches[id] = w
-	if s.watchBuckets == nil {
-		s.watchBuckets = map[string][]*watch{}
-	}
-	s.watchBuckets[b] = append(s.watchBuckets[b], w)
+	wb := s.bucketFor(b)
+	wb.ws = append(wb.ws, w)
 	return id, nil
 }
 
@@ -465,12 +680,14 @@ func (s *Store) Unwatch(id WatchID) {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
 	if w, ok := s.watches[id]; ok {
+		w.removed.Store(true)
 		delete(s.watches, id)
-		bucket := s.watchBuckets[w.bucket]
-		for i, bw := range bucket {
-			if bw.id == id {
-				s.watchBuckets[w.bucket] = append(bucket[:i], bucket[i+1:]...)
-				break
+		if wb := s.watchBuckets[w.bucket]; wb != nil {
+			for i, bw := range wb.ws {
+				if bw.id == id {
+					wb.ws = append(wb.ws[:i], wb.ws[i+1:]...)
+					break
+				}
 			}
 		}
 	}
@@ -488,21 +705,21 @@ func hasPrefix(path, prefix []string) bool {
 	return true
 }
 
-func (s *Store) fireWatches(parts []string, path, value string) {
+func (s *Store) fireWatches(wb *watchBucket, parts []string, n *node, path, value string) {
 	// Snapshot the candidate watches under the lock, then match and
 	// schedule outside it so callbacks cannot deadlock against Watch/
 	// Unwatch. Only the path's own domain bucket plus the structural
 	// bucket can possibly match (watch prefixes in other domain buckets
 	// diverge at /local/domain/<id>), so fan-out cost tracks the watches
-	// on this subtree, not the whole table. Buckets are id-sorted, so a
-	// two-way merge yields the deterministic ascending-id delivery order
-	// with no per-fire sort; matchScratch is reused across fires (kernel
-	// goroutine only).
+	// on this subtree, not the whole table; the caller hands in the
+	// path's bucket, already pinned by its cache entry. Buckets are
+	// id-sorted, so a two-way merge yields the deterministic
+	// ascending-id delivery order with no per-fire sort; matchScratch is
+	// reused across fires (kernel goroutine only).
 	s.watchMu.Lock()
-	b := bucketOf(parts)
 	matched := s.matchScratch[:0]
-	db, sb := s.watchBuckets[b], s.watchBuckets[""]
-	if b == "" {
+	db, sb := wb.ws, s.structWB.ws
+	if wb == s.structWB {
 		sb = nil // structural path: db already is the structural bucket
 	}
 	for len(db) > 0 || len(sb) > 0 {
@@ -514,9 +731,38 @@ func (s *Store) fireWatches(parts []string, path, value string) {
 	}
 	s.matchScratch = matched
 	s.watchMu.Unlock()
-	// One lookup for the whole fan-out: the node is the same for every
-	// watcher, only the per-watcher read permission differs.
-	n := s.lookup(parts)
+	// The caller hands in the written node (nil for removals): the node is
+	// the same for every watcher, only the per-watcher permission differs.
+	//
+	// Deliveries that share a latency ride one kernel event: they were
+	// scheduled back-to-back for the same instant with consecutive
+	// sequence numbers, so no other event can interleave them — running
+	// the callbacks consecutively inside one event preserves the exact
+	// dispatch order while cutting the calendar traffic of the fan-out
+	// (every write notifies at least the manager and the guest driver).
+	var run []*watch
+	runDelay := s.notifyLatency
+	p, v := path, value
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		ws := run
+		run = nil
+		s.k.After(runDelay, func() {
+			for _, w := range ws {
+				// The watch may have been removed while the notification
+				// was in flight; XenStore drops such events.
+				if w.removed.Load() {
+					continue
+				}
+				if s.rec != nil {
+					s.rec.Record(trace.Record{Kind: trace.KindStoreWatch, Dom: int(w.dom), Path: p, Value: v})
+				}
+				w.fn(p, v)
+			}
+		})
+	}
 	for _, w := range matched {
 		if !hasPrefix(parts, w.prefix) {
 			continue
@@ -536,24 +782,14 @@ func (s *Store) fireWatches(parts []string, path, value string) {
 				delay += extra
 			}
 		}
-		id, dom, fn := w.id, w.dom, w.fn
-		p, v := path, value
+		if len(run) > 0 && delay != runDelay {
+			flush()
+		}
+		runDelay = delay
 		s.notifies++
-		s.k.After(delay, func() {
-			// The watch may have been removed while the notification was
-			// in flight; XenStore drops such events.
-			s.watchMu.Lock()
-			_, ok := s.watches[id]
-			s.watchMu.Unlock()
-			if !ok {
-				return
-			}
-			if s.rec != nil {
-				s.rec.Record(trace.Record{Kind: trace.KindStoreWatch, Dom: int(dom), Path: p, Value: v})
-			}
-			fn(p, v)
-		})
+		run = append(run, w)
 	}
+	flush()
 }
 
 // Stats reports cumulative operation counts (reads, writes, notifications),
@@ -578,38 +814,18 @@ func (s *Store) WriteInt(dom DomID, path string, v int64) error {
 // ReadInt reads an integer value; absent nodes return defaultV.
 func (s *Store) ReadInt(dom DomID, path string, defaultV int64) (int64, error) {
 	raw, err := s.Read(dom, path)
-	if errors.Is(err, ErrNoEntry) {
-		return defaultV, nil
-	}
-	if err != nil {
-		return defaultV, err
-	}
-	v, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil {
-		return defaultV, fmt.Errorf("store: %s holds non-integer %q", path, raw)
-	}
-	return v, nil
+	return parseIntValue(raw, err, path, defaultV)
 }
 
 // WriteBool writes "1" or "0", the encoding Algorithms 1 and 2 use for
 // has_dirty_pages, flush_now, congested and release_request.
 func (s *Store) WriteBool(dom DomID, path string, v bool) error {
-	if v {
-		return s.Write(dom, path, "1")
-	}
-	return s.Write(dom, path, "0")
+	return s.Write(dom, path, boolValue(v))
 }
 
 // ReadBool reads a boolean; absent nodes return false.
 func (s *Store) ReadBool(dom DomID, path string) (bool, error) {
-	raw, err := s.Read(dom, path)
-	if errors.Is(err, ErrNoEntry) {
-		return false, nil
-	}
-	if err != nil {
-		return false, err
-	}
-	return raw == "1" || raw == "true", nil
+	return parseBoolValue(s.Read(dom, path))
 }
 
 // WriteFloat writes a float value.
@@ -620,15 +836,85 @@ func (s *Store) WriteFloat(dom DomID, path string, v float64) error {
 // ReadFloat reads a float value; absent nodes return defaultV.
 func (s *Store) ReadFloat(dom DomID, path string, defaultV float64) (float64, error) {
 	raw, err := s.Read(dom, path)
+	return parseFloatValue(raw, err, path, defaultV)
+}
+
+// Cursor-typed variants, sharing the exact parse semantics above — the
+// in-process bus handle routes every typed operation through these.
+
+// WriteIntCursor writes an integer value through a pinned cursor.
+func (s *Store) WriteIntCursor(dom DomID, c *Cursor, v int64) error {
+	return s.WriteCursor(dom, c, strconv.FormatInt(v, 10))
+}
+
+// ReadIntCursor reads an integer value; absent nodes return defaultV.
+func (s *Store) ReadIntCursor(dom DomID, c *Cursor, defaultV int64) (int64, error) {
+	raw, err := s.ReadCursor(dom, c)
+	return parseIntValue(raw, err, c.path, defaultV)
+}
+
+// WriteBoolCursor writes "1" or "0" through a pinned cursor.
+func (s *Store) WriteBoolCursor(dom DomID, c *Cursor, v bool) error {
+	return s.WriteCursor(dom, c, boolValue(v))
+}
+
+// ReadBoolCursor reads a boolean; absent nodes return false.
+func (s *Store) ReadBoolCursor(dom DomID, c *Cursor) (bool, error) {
+	return parseBoolValue(s.ReadCursor(dom, c))
+}
+
+// WriteFloatCursor writes a float value through a pinned cursor.
+func (s *Store) WriteFloatCursor(dom DomID, c *Cursor, v float64) error {
+	return s.WriteCursor(dom, c, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// ReadFloatCursor reads a float value; absent nodes return defaultV.
+func (s *Store) ReadFloatCursor(dom DomID, c *Cursor, defaultV float64) (float64, error) {
+	raw, err := s.ReadCursor(dom, c)
+	return parseFloatValue(raw, err, c.path, defaultV)
+}
+
+func boolValue(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+func parseBoolValue(raw string, err error) (bool, error) {
 	if errors.Is(err, ErrNoEntry) {
-		return defaultV, nil
+		return false, nil
 	}
 	if err != nil {
-		return defaultV, err
+		return false, err
 	}
-	v, err := strconv.ParseFloat(raw, 64)
+	return raw == "1" || raw == "true", nil
+}
+
+func parseIntValue(raw string, err error, path string, def int64) (int64, error) {
+	if errors.Is(err, ErrNoEntry) {
+		return def, nil
+	}
 	if err != nil {
-		return defaultV, fmt.Errorf("store: %s holds non-float %q", path, raw)
+		return def, err
+	}
+	v, perr := strconv.ParseInt(raw, 10, 64)
+	if perr != nil {
+		return def, fmt.Errorf("store: %s holds non-integer %q", path, raw)
+	}
+	return v, nil
+}
+
+func parseFloatValue(raw string, err error, path string, def float64) (float64, error) {
+	if errors.Is(err, ErrNoEntry) {
+		return def, nil
+	}
+	if err != nil {
+		return def, err
+	}
+	v, perr := strconv.ParseFloat(raw, 64)
+	if perr != nil {
+		return def, fmt.Errorf("store: %s holds non-float %q", path, raw)
 	}
 	return v, nil
 }

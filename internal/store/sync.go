@@ -54,9 +54,15 @@ type Delta struct {
 // write path, and the serial multiply per byte was the single hottest
 // instruction in the store under load.
 func nodeHash(path, value string) uint64 {
+	return mixString(pathHashState(path), value)
+}
+
+// pathHashState is the node-hash state after folding the path and the
+// path/value separator — the per-path prefix of nodeHash. The path cache
+// memoizes it so a hot-key write hashes only the old and new values.
+func pathHashState(path string) uint64 {
 	h := mixString(14695981039346656037, path)
-	h = mixWord(h, 0xa5) // path/value separator
-	return mixString(h, value)
+	return mixWord(h, 0xa5) // path/value separator
 }
 
 // mixWord folds one 64-bit word into the running hash (FxHash-style
@@ -88,11 +94,13 @@ func mixString(h uint64, s string) uint64 {
 }
 
 // bucketOf maps a path (as split parts) to its hash bucket: the owning
-// /local/domain/<id> subtree root, or "" for structural nodes at or
-// above the domain level.
+// domain's id segment (a substring of the path — no allocation on the
+// write path), or "" for structural nodes at or above the domain level.
+// The short key is internal; SubtreeHash translates from the public
+// /local/domain/<id> spelling.
 func bucketOf(parts []string) string {
 	if len(parts) >= 3 && parts[0] == "local" && parts[1] == "domain" {
-		return Root + "/" + parts[2]
+		return parts[2]
 	}
 	return ""
 }
@@ -100,10 +108,7 @@ func bucketOf(parts []string) string {
 // noteNode folds one node's presence (or, called twice, a value change)
 // into its subtree hash.
 func (s *Store) noteNode(parts []string, path, value string) {
-	if s.subHashes == nil {
-		s.subHashes = map[string]uint64{}
-	}
-	s.subHashes[bucketOf(parts)] ^= nodeHash(path, value)
+	*s.hashCell(bucketOf(parts)) ^= nodeHash(path, value)
 }
 
 // noteCreated folds the freshly created empty nodes of a Write (levels
@@ -142,14 +147,17 @@ func (s *Store) SubtreeHash(root string) uint64 {
 		return 0
 	}
 	if b := bucketOf(parts); b != "" {
-		if b != root {
+		if len(parts) != 3 {
 			return 0 // deeper than a bucket root: not tracked
 		}
-		return s.subHashes[b]
+		if p := s.subHashes[b]; p != nil {
+			return *p
+		}
+		return 0
 	}
 	var h uint64
 	for _, v := range s.subHashes {
-		h ^= v
+		h ^= *v
 	}
 	return h
 }

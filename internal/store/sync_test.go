@@ -34,8 +34,8 @@ func checkHashes(t *testing.T, s *Store, when string) {
 	want := recomputeBuckets(s)
 	have := map[string]uint64{}
 	for b, h := range s.subHashes {
-		if h != 0 {
-			have[b] = h
+		if *h != 0 {
+			have[b] = *h
 		}
 	}
 	if !reflect.DeepEqual(have, want) {
@@ -101,7 +101,7 @@ func TestSubtreeHashRoots(t *testing.T) {
 
 	var all uint64
 	for _, h := range s.subHashes {
-		all ^= h
+		all ^= *h
 	}
 	for _, root := range []string{"/", "/local", "/local/domain"} {
 		if got := s.SubtreeHash(root); got != all {
