@@ -17,9 +17,13 @@ vet:
 
 # Project-invariant static analysis (internal/analysis, docs/LINTING.md):
 # determinism, store key schema, watch-handler re-entrancy, the Monitor
-# read contract, the trace/counter mirror, and deprecation hygiene.
+# read contract, the trace/counter mirror, deprecation hygiene, shard
+# store-loop confinement, epoch-goroutine isolation, hot-path allocation
+# discipline and bounded retries. The second run audits the
+# //lint:allow ledger: unjustified or stale directives fail the build.
 lint:
 	$(GO) run ./cmd/iorchestra-vet ./...
+	$(GO) run ./cmd/iorchestra-vet -audit ./...
 
 test:
 	$(GO) test ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -123,9 +124,165 @@ func TestListDescribesSuite(t *testing.T) {
 	if exit != 0 {
 		t.Fatalf("exit = %d, want 0", exit)
 	}
-	for _, name := range []string{"determinism", "storekeys", "watchsafety", "monitoronly", "tracecounter", "nodeprecated"} {
+	for _, name := range []string{
+		"determinism", "storekeys", "watchsafety", "monitoronly", "tracecounter",
+		"nodeprecated", "shardsafety", "epochsafety", "hotpathalloc", "boundedretry",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing pass %q:\n%s", name, stdout)
 		}
+	}
+}
+
+// findingsReport mirrors the -json findings envelope; the field set is
+// the schema contract CI's problem matcher depends on.
+type findingsReport struct {
+	Version  int `json:"version"`
+	Findings []struct {
+		Pass    string `json:"pass"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+	} `json:"findings"`
+}
+
+// auditReport mirrors the -audit -json envelope.
+type auditReport struct {
+	Version    int `json:"version"`
+	Directives []struct {
+		File          string   `json:"file"`
+		Line          int      `json:"line"`
+		Passes        []string `json:"passes"`
+		Justification string   `json:"justification"`
+		Suppressed    int      `json:"suppressed"`
+		Stale         bool     `json:"stale"`
+	} `json:"directives"`
+	Unjustified []struct {
+		Pass string `json:"pass"`
+		File string `json:"file"`
+	} `json:"unjustified"`
+}
+
+func TestJSONFindings(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "-scope=all", "-json", "./dirty")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	var rep findingsReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Version != 1 {
+		t.Errorf("version = %d, want 1", rep.Version)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2:\n%s", len(rep.Findings), stdout)
+	}
+	passes := map[string]bool{}
+	for _, f := range rep.Findings {
+		passes[f.Pass] = true
+		if f.File != filepath.Join("dirty", "dirty.go") {
+			t.Errorf("finding file = %q, want relative dirty/dirty.go", f.File)
+		}
+		if f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding missing position or message: %+v", f)
+		}
+	}
+	if !passes["storekeys"] || !passes["determinism"] {
+		t.Errorf("findings should cover storekeys and determinism, got %v", passes)
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr = %q, want finding count on stderr (stdout stays pure JSON)", stderr)
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	stdout, _, exit := runTool(t, "-scope=all", "-json", "./clean")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s", exit, stdout)
+	}
+	var rep findingsReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("clean run must emit \"findings\": [] (not null), got:\n%s", stdout)
+	}
+}
+
+func TestAuditReportsLedger(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "-scope=all", "-audit", "./allowed")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 (stale directive present)\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	for _, needle := range []string{
+		"allow [storekeys]",
+		"suppressed 1 finding(s)",
+		"allow [determinism]",
+		"STALE: suppressed nothing this run",
+	} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("audit output missing %q:\n%s", needle, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 directive(s), 1 stale, 0 unjustified") {
+		t.Errorf("stderr = %q, want ledger summary", stderr)
+	}
+}
+
+func TestAuditJSON(t *testing.T) {
+	stdout, _, exit := runTool(t, "-scope=all", "-audit", "-json", "./allowed")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", exit, stdout)
+	}
+	var rep auditReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Version != 1 || len(rep.Directives) != 2 || len(rep.Unjustified) != 0 {
+		t.Fatalf("want version 1, 2 directives, 0 unjustified:\n%s", stdout)
+	}
+	byPass := map[string]struct {
+		suppressed int
+		stale      bool
+	}{}
+	for _, d := range rep.Directives {
+		if len(d.Passes) != 1 || d.Justification == "" {
+			t.Errorf("directive missing passes or justification: %+v", d)
+			continue
+		}
+		byPass[d.Passes[0]] = struct {
+			suppressed int
+			stale      bool
+		}{d.Suppressed, d.Stale}
+	}
+	if got := byPass["storekeys"]; got.suppressed != 1 || got.stale {
+		t.Errorf("storekeys directive: %+v, want suppressed=1 stale=false", got)
+	}
+	if got := byPass["determinism"]; got.suppressed != 0 || !got.stale {
+		t.Errorf("determinism directive: %+v, want suppressed=0 stale=true", got)
+	}
+}
+
+// A clean audit (no directives at all) exits zero.
+func TestAuditCleanExitsZero(t *testing.T) {
+	stdout, stderr, exit := runTool(t, "-scope=all", "-audit", "./clean")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "0 directive(s), 0 stale, 0 unjustified") {
+		t.Errorf("stderr = %q, want empty-ledger summary", stderr)
+	}
+}
+
+// Usage errors keep exit code 2 in every output mode.
+func TestUnknownPassExitsTwoUnderJSON(t *testing.T) {
+	_, stderr, exit := runTool(t, "-json", "-run", "nosuchpass", "./clean")
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "unknown pass") {
+		t.Errorf("stderr = %q, want unknown-pass error", stderr)
 	}
 }

@@ -1,0 +1,14 @@
+// Package allowed exercises the -audit ledger: one justified directive
+// that really suppresses a finding, and one stale directive excusing a
+// violation that no longer exists.
+package allowed
+
+// Raw would trip storekeys, but the directive on its line absorbs the
+// finding with a justification -audit can report.
+var Raw = "/local/domain/7/fixture" //lint:allow storekeys -- e2e fixture: exercises a justified, suppressing directive
+
+// The determinism violation this excused was removed; the directive
+// stayed behind, so -audit must flag it as stale.
+//
+//lint:allow determinism -- e2e fixture: stale on purpose, suppresses nothing
+func Quiet() int { return 7 }

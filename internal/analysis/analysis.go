@@ -80,9 +80,21 @@ func pkgName(sel *ast.SelectorExpr) string {
 // honors //lint:allow escape hatches, and returns the surviving
 // diagnostics sorted by position. scopeAll disables AppliesTo gating.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, scopeAll bool) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersWithAllows(pkgs, analyzers, scopeAll)
+	return diags, err
+}
+
+// RunAnalyzersWithAllows is RunAnalyzers plus the escape-hatch ledger:
+// every justified //lint:allow directive is returned with a count of
+// the findings it actually suppressed in this run, which is what the
+// driver's -audit mode reports (a directive that suppressed nothing is
+// stale — the violation it excused is gone, so the directive must go).
+func RunAnalyzersWithAllows(pkgs []*Package, analyzers []*Analyzer, scopeAll bool) ([]Diagnostic, []*AllowDirective, error) {
 	var diags []Diagnostic
+	var directives []*AllowDirective
 	for _, pkg := range pkgs {
-		allows, allowDiags := collectAllows(pkg)
+		allows, dirs, allowDiags := collectAllows(pkg)
+		directives = append(directives, dirs...)
 		diags = append(diags, allowDiags...)
 		for _, a := range analyzers {
 			if !scopeAll && a.AppliesTo != nil && !a.AppliesTo(strings.TrimSuffix(pkg.Path, "_test")) {
@@ -98,7 +110,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, scopeAll bool) ([]Diag
 				diags:     &found,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 			}
 			for _, d := range found {
 				if !allows.suppresses(a.Name, d.Pos) {
@@ -117,11 +129,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, scopeAll bool) ([]Diag
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	sort.Slice(directives, func(i, j int) bool {
+		a, b := directives[i], directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags, directives, nil
 }
 
-// allowTable indexes //lint:allow directives by (file, line, pass).
-type allowTable map[string]map[int]map[string]bool
+// AllowDirective is one justified //lint:allow escape hatch, with the
+// suppression accounting -audit reports. Suppressed counts the findings
+// the directive absorbed in this run; zero means the violation it
+// excused is gone and the directive is stale.
+type AllowDirective struct {
+	Pos           token.Position
+	Passes        []string
+	Justification string
+	Suppressed    int
+}
+
+// allowTable indexes //lint:allow directives by (file, line, pass); the
+// leaf points back at the directive so suppressions can be counted.
+type allowTable map[string]map[int]map[string]*AllowDirective
 
 func (t allowTable) suppresses(pass string, pos token.Position) bool {
 	lines := t[pos.Filename]
@@ -130,7 +161,13 @@ func (t allowTable) suppresses(pass string, pos token.Position) bool {
 	}
 	// A directive suppresses findings on its own line (trailing comment)
 	// and on the line directly below it (directive above the statement).
-	return lines[pos.Line][pass] || lines[pos.Line-1][pass]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[line][pass]; d != nil {
+			d.Suppressed++
+			return true
+		}
+	}
+	return false
 }
 
 const allowPrefix = "//lint:allow "
@@ -139,8 +176,9 @@ const allowPrefix = "//lint:allow "
 // directive must carry a justification after " -- "; one without it
 // suppresses nothing and is itself reported, so the escape hatch can
 // never be used silently.
-func collectAllows(pkg *Package) (allowTable, []Diagnostic) {
+func collectAllows(pkg *Package) (allowTable, []*AllowDirective, []Diagnostic) {
 	table := allowTable{}
+	var directives []*AllowDirective
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -159,23 +197,27 @@ func collectAllows(pkg *Package) (allowTable, []Diagnostic) {
 					})
 					continue
 				}
+				d := &AllowDirective{Pos: pos, Justification: strings.TrimSpace(reason)}
 				lines := table[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int]map[string]*AllowDirective{}
 					table[pos.Filename] = lines
 				}
 				passes := lines[pos.Line]
 				if passes == nil {
-					passes = map[string]bool{}
+					passes = map[string]*AllowDirective{}
 					lines[pos.Line] = passes
 				}
 				for _, n := range strings.Split(names, ",") {
-					passes[strings.TrimSpace(n)] = true
+					name := strings.TrimSpace(n)
+					d.Passes = append(d.Passes, name)
+					passes[name] = d
 				}
+				directives = append(directives, d)
 			}
 		}
 	}
-	return table, diags
+	return table, directives, diags
 }
 
 // walkFiles runs fn over every node of every file in the pass.
@@ -202,6 +244,23 @@ func importedPkg(info *types.Info, sel *ast.SelectorExpr) string {
 		return pn.Imported().Path()
 	}
 	return ""
+}
+
+// hasMarker reports whether a function's doc comment carries the given
+// marker on a line of its own (e.g. "hotpath", written //hotpath; gofmt
+// may normalize it to "// hotpath", so both spellings count). Markers
+// opt declarations into pass-specific treatment: //hotpath submits a
+// function to hotpathalloc, //storeloop exempts one from shardsafety.
+func hasMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
+			return true
+		}
+	}
+	return false
 }
 
 // recvTypeString resolves the receiver type of a selector call like

@@ -23,17 +23,22 @@ func TestWatchSafetyFixture(t *testing.T)  { runFixture(t, WatchSafety, "watchsa
 func TestMonitorOnlyFixture(t *testing.T)  { runFixture(t, MonitorOnly, "monitoronly") }
 func TestTraceCounterFixture(t *testing.T) { runFixture(t, TraceCounter, "tracecounter") }
 func TestNoDeprecatedFixture(t *testing.T) { runFixture(t, NoDeprecated, "nodeprecated") }
+func TestShardSafetyFixture(t *testing.T)  { runFixture(t, ShardSafety, "shardsafety") }
+func TestEpochSafetyFixture(t *testing.T)  { runFixture(t, EpochSafety, "epochsafety") }
+func TestHotPathAllocFixture(t *testing.T) { runFixture(t, HotPathAlloc, "hotpathalloc") }
+func TestBoundedRetryFixture(t *testing.T) { runFixture(t, BoundedRetry, "boundedretry") }
 
-// TestDeterminismScopeFixture proves both sides of the determinism
-// pass's scope gate on a miniature module tree (testdata/scope, module
-// path iorchestra): deterministic-sim packages and simulation-driving
-// commands are flagged, while nonSimScope's wire-facing packages —
-// internal/netstore and its commands — use the wall clock freely, and
-// nonSimFiles carves out single files (sim-bench's stamp.go) inside
-// otherwise-covered packages. Unlike runFixture, scoping stays ENABLED
-// here; the exempt packages and files carry no want comments, so any
+// TestScopeFixture proves both sides of every scope-gated pass on a
+// miniature module tree (testdata/scope, module path iorchestra), with
+// scoping ENABLED — the opposite of runFixture. Determinism:
+// sim packages and commands are flagged while nonSimScope's wire-facing
+// packages and nonSimFiles' single files (sim-bench's stamp.go) use the
+// wall clock freely. ShardSafety fires only in internal/netstore,
+// EpochSafety only in internal/cluster, HotPathAlloc only under
+// internal/, and BoundedRetry everywhere except internal/analysis. The
+// out-of-scope twins of each violation carry no want comments, so any
 // diagnostic from them fails the test.
-func TestDeterminismScopeFixture(t *testing.T) {
+func TestScopeFixture(t *testing.T) {
 	dir := filepath.Join("testdata", "scope")
 	pkgs, err := Load(LoadConfig{}, dir+"/...")
 	if err != nil {
@@ -47,6 +52,8 @@ func TestDeterminismScopeFixture(t *testing.T) {
 	}
 	for _, p := range []string{
 		"iorchestra/internal/core", "iorchestra/internal/netstore",
+		"iorchestra/internal/cluster", "iorchestra/internal/store",
+		"iorchestra/internal/analysis",
 		"iorchestra/cmd/iorchestra-stored", "iorchestra/cmd/iorchestra-vet",
 		"iorchestra/cmd/sim-bench",
 	} {
@@ -54,9 +61,10 @@ func TestDeterminismScopeFixture(t *testing.T) {
 			t.Fatalf("scope fixture did not load %s; got %v", p, flagged)
 		}
 	}
-	diags, err := RunAnalyzers(pkgs, []*Analyzer{Determinism}, false)
+	scoped := []*Analyzer{Determinism, ShardSafety, EpochSafety, HotPathAlloc, BoundedRetry}
+	diags, err := RunAnalyzers(pkgs, scoped, false)
 	if err != nil {
-		t.Fatalf("running determinism on scope fixture: %v", err)
+		t.Fatalf("running scoped passes on scope fixture: %v", err)
 	}
 	for _, d := range diags {
 		if !claim(wants, d) {

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// epochAllowedRecv are the receiver types an epoch goroutine may call:
+// its own per-host kernel and the barrier's wait group. Everything else
+// is potential cross-host shared state.
+var epochAllowedRecv = map[string]bool{
+	"*iorchestra/internal/sim.Kernel": true,
+	"sync.WaitGroup":                  true,
+	"*sync.WaitGroup":                 true,
+}
+
+// EpochSafety guards the share-nothing contract of the PR 8 epoch
+// barrier: cluster.RunEpochs advances per-host kernels on parallel
+// goroutines, and its parity-vs-sequential proof only holds if those
+// goroutines share nothing — cross-host state may change solely in the
+// single-threaded between-epoch sync callbacks. Inside any goroutine
+// spawned in internal/cluster the pass flags: assignments to variables
+// declared outside the goroutine, channel sends/receives, and calls to
+// anything other than builtins, conversions, locally-declared closures,
+// sim.Kernel or sync.WaitGroup methods. Goroutines must be function
+// literals so the pass can see their bodies.
+var EpochSafety = &Analyzer{
+	Name: "epochsafety",
+	Doc: "goroutines spawned in internal/cluster (the RunEpochs epoch workers) share " +
+		"nothing: no writes to captured state, no channel traffic, no calls beyond " +
+		"sim.Kernel/sync.WaitGroup — cross-host state moves in the sync callback",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "iorchestra/internal/cluster"
+	},
+	Run: runEpochSafety,
+}
+
+func runEpochSafety(p *Pass) error {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				p.Reportf(gs.Pos(), "epoch goroutines must be function literals so epochsafety "+
+					"can check their bodies; inline the body of %s", calleeName(gs.Call))
+				return true
+			}
+			checkEpochLit(p, lit)
+			return false
+		})
+	}
+	return nil
+}
+
+func checkEpochLit(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkEpochMutation(p, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkEpochMutation(p, lit, n.X)
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel traffic inside an epoch goroutine; exchange "+
+				"cross-host state in the between-epoch sync callback")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(), "channel traffic inside an epoch goroutine; exchange "+
+					"cross-host state in the between-epoch sync callback")
+			}
+		case *ast.CallExpr:
+			checkEpochCall(p, lit, n)
+		}
+		return true
+	})
+}
+
+// checkEpochMutation flags an assignment target whose base variable is
+// declared outside the goroutine literal: a data race against the other
+// epoch workers or the coordinator.
+func checkEpochMutation(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	id := baseIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+		return // goroutine-local (declared or received as a parameter inside)
+	}
+	p.Reportf(lhs.Pos(), "epoch goroutine mutates %s, declared outside the goroutine; "+
+		"cross-host state may only change in the single-threaded sync callback", id.Name)
+}
+
+func checkEpochCall(p *Pass, lit *ast.FuncLit, call *ast.CallExpr) {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		return // conversion
+	}
+	if _, ok := call.Fun.(*ast.FuncLit); ok {
+		return // immediately-invoked literal: its body is walked directly
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch p.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			return
+		}
+		// A function declared inside the goroutine is walked anyway; one
+		// declared outside hides shared state from this pass.
+		if obj := p.TypesInfo.Uses[id]; obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return
+		}
+	}
+	name := calleeName(call)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if epochAllowedRecv[recvTypeString(p.TypesInfo, sel)] {
+			return
+		}
+		name = pkgName(sel)
+	}
+	p.Reportf(call.Pos(), "epoch goroutines may only drive their own kernel "+
+		"(sim.Kernel, sync.WaitGroup methods); move %s into the between-epoch sync callback",
+		name)
+}
+
+// baseIdent unwraps selectors, indexes, stars and parens to the root
+// identifier of an assignable expression.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

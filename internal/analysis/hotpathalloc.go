@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc guards the allocation discipline that took the netstore
+// hot path from 35k to 409k ops/s and the simulator to 25k guest-s/s
+// (docs/PERFORMANCE.md): functions marked //hotpath — store dispatch
+// and cursor ops, v2 frame encode/decode, the 4-ary heap sifts — must
+// not allocate per call. Flagged inside marked functions:
+//
+//   - function literals (closure capture allocates),
+//   - fmt package calls (reflection + allocation; build errors in cold
+//     helpers instead),
+//   - map and slice composite literals (per-call heap allocation),
+//   - boxing a known concrete value into an interface parameter or via
+//     an interface conversion.
+//
+// Unmarked functions are never inspected: the marker is the opt-in
+// contract, so cold paths keep fmt and closures freely.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions marked //hotpath must not allocate per call: no function " +
+		"literals, no fmt calls, no map/slice literals, no boxing of concrete " +
+		"values into interfaces",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "iorchestra/internal/")
+	},
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd, "hotpath") {
+				continue
+			}
+			checkHotBody(p, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(p *Pass, body *ast.BlockStmt) {
+	qual := types.RelativeTo(p.Pkg)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "function literal allocates a closure on every call of a "+
+				"//hotpath function; hoist it out of the hot path or bind it once at setup")
+			return false
+		case *ast.CompositeLit:
+			tv, ok := p.TypesInfo.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates on every call of a //hotpath "+
+					"function; hoist it to a struct field or package variable")
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates on every call of a //hotpath "+
+					"function; hoist it or reuse a scratch buffer")
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, qual, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls and interface boxing at a call site
+// inside a //hotpath function.
+func checkHotCall(p *Pass, qual types.Qualifier, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && importedPkg(p.TypesInfo, sel) == "fmt" {
+		// The fmt finding subsumes the boxing of its variadic arguments;
+		// one diagnostic per site keeps the output actionable.
+		p.Reportf(call.Pos(), "%s formats through reflection and allocates on every call "+
+			"of a //hotpath function; build the message in a cold helper", pkgName(sel))
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		// A conversion: T(x) boxes when T is an interface and x concrete.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxing(p, qual, call.Args[0], tv.Type)
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // builtin (append, len, panic, ...)
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through, no boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			reportBoxing(p, qual, arg, pt)
+		}
+	}
+}
+
+// isPointerShaped reports whether values of t fit directly in an
+// interface's data word (pointers, channels, maps, funcs, and structs
+// or arrays wrapping exactly one such field), so converting them to an
+// interface never allocates.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && isPointerShaped(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && isPointerShaped(u.Elem())
+	}
+	return false
+}
+
+func reportBoxing(p *Pass, qual types.Qualifier, arg ast.Expr, ifaceType types.Type) {
+	if _, ok := ifaceType.(*types.TypeParam); ok {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil || types.IsInterface(tv.Type) {
+		return
+	}
+	if tv.Value != nil {
+		return // constants box into static data, not per-call allocations
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return // untyped nil converts without a runtime box
+	}
+	if _, ok := tv.Type.(*types.TypeParam); ok {
+		return
+	}
+	if isPointerShaped(tv.Type) {
+		return // stored directly in the interface word, no allocation
+	}
+	p.Reportf(arg.Pos(), "argument boxes concrete %s into interface %s on a //hotpath "+
+		"function; keep hot signatures concrete or pre-box the value once",
+		types.TypeString(tv.Type, qual), types.TypeString(ifaceType, qual))
+}

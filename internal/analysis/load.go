@@ -284,7 +284,9 @@ func (l *moduleLoader) check(path, dir string, mode fileMode) (*types.Package, [
 	for _, n := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
 		if err != nil {
-			return nil, nil, nil, err
+			// Syntax the loader cannot parse must fail the load loudly,
+			// never silently narrow the package it hands to the passes.
+			return nil, nil, nil, fmt.Errorf("parsing %s: %w", filepath.Join(dir, n), err)
 		}
 		isTest := strings.HasSuffix(n, "_test.go")
 		isXTest := isTest && strings.HasSuffix(f.Name.Name, "_test")

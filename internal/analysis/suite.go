@@ -9,6 +9,10 @@ func Suite() []*Analyzer {
 		MonitorOnly,
 		TraceCounter,
 		NoDeprecated,
+		ShardSafety,
+		EpochSafety,
+		HotPathAlloc,
+		BoundedRetry,
 	}
 }
 

@@ -1,0 +1,6 @@
+// Package loaderr is deliberately mis-typed: the loader tests assert
+// Load fails loudly, naming the file and the type error, instead of
+// returning a half-typed package for the passes to misread.
+package loaderr
+
+var answer int = "forty-two"

@@ -1,0 +1,15 @@
+// Package analysis is boundedretry's scope carve-out: the real pass
+// suite constructs retry-shaped loops as fixtures and test subjects, so
+// the pass must not fire here — no want comments.
+package analysis
+
+func Probe() bool { return true }
+
+func SpinForever() {
+	for {
+		if Probe() {
+			return
+		}
+		continue
+	}
+}

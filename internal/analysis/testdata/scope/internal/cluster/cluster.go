@@ -1,0 +1,15 @@
+// Package cluster is inside epochsafety's gate: goroutine bodies here
+// are epoch workers and must keep the share-nothing discipline. The
+// same shape in internal/core carries no want comment.
+package cluster
+
+func Advance() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++ // want `mutates total`
+		close(done)
+	}()
+	<-done
+	return total
+}

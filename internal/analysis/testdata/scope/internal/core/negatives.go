@@ -1,0 +1,26 @@
+// negatives.go holds out-of-scope twins of the shardsafety and
+// epochsafety scope-fixture violations: core is neither netstore nor
+// cluster, so neither pass may fire here — no want comments.
+package core
+
+import "iorchestra/internal/store"
+
+type coreShard struct{ st *store.Store }
+
+// Outside netstore, direct store access is the ordinary
+// single-goroutine discipline, not a shard violation.
+func CoreDirect(sh *coreShard, dom store.DomID) (string, error) {
+	return sh.st.Read(dom, "/x")
+}
+
+// Outside cluster, goroutines are not epoch workers.
+func CoreSpawn() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++
+		close(done)
+	}()
+	<-done
+	return total
+}

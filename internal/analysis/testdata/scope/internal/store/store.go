@@ -1,0 +1,12 @@
+// Package store mirrors the real store's receiver types so the
+// shardsafety receiver matching (keyed on iorchestra/internal/store
+// types) can be exercised inside the scope fixture module.
+package store
+
+type DomID int
+
+type Store struct{ vals map[string]string }
+
+func (s *Store) Read(dom DomID, path string) (string, error) {
+	return s.vals[path], nil
+}

@@ -1,0 +1,55 @@
+// Package epochsafety exercises the epoch-goroutine share-nothing
+// pass: goroutines here stand in for cluster.RunEpochs kernel workers,
+// which may drive their own kernel and the barrier's wait group but
+// must leave cross-host state to the between-epoch sync callback.
+package epochsafety
+
+import (
+	"fmt"
+	"sync"
+
+	"iorchestra/internal/sim"
+)
+
+// runEpoch is the sanctioned shape: each worker drives its own kernel
+// and signals the barrier, nothing else.
+func runEpoch(kernels []*sim.Kernel, upto sim.Time) {
+	var wg sync.WaitGroup
+	for _, k := range kernels {
+		wg.Add(1)
+		go func(k *sim.Kernel) {
+			defer wg.Done()
+			k.RunUntil(upto)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// leakyEpoch smuggles cross-host state into the workers: flagged.
+func leakyEpoch(kernels []*sim.Kernel, upto sim.Time, done map[int]bool) {
+	var wg sync.WaitGroup
+	total := 0
+	results := make(chan int, len(kernels))
+	for i, k := range kernels {
+		wg.Add(1)
+		i, k := i, k
+		go func() {
+			defer wg.Done()
+			k.RunUntil(upto)
+			total++        // want `mutates total`
+			done[i] = true // want `mutates done`
+			fmt.Println(i) // want `move fmt\.Println into`
+			results <- i   // want `channel traffic`
+		}()
+	}
+	wg.Wait()
+	close(results)
+	_ = total
+}
+
+func spin() {}
+
+// namedGoroutine hides its body from the pass: flagged.
+func namedGoroutine() {
+	go spin() // want `must be function literals`
+}

@@ -1,0 +1,28 @@
+// Package generics proves the stdlib-only loader type-checks modern
+// syntax: generic helpers are common in test scaffolding, and Load must
+// either understand them fully or fail loudly — never mis-type.
+package generics
+
+type number interface{ ~int | ~float64 }
+
+func sum[T number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func keys[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Used instantiates both helpers so the loader has to type-check real
+// instantiations, not just the declarations.
+func Used() (int, int) {
+	return sum([]int{1, 2, 3}), len(keys(map[string]int{"a": 1}))
+}

@@ -1,0 +1,77 @@
+// Package hotpathalloc exercises the hot-path allocation pass: only
+// functions marked //hotpath are inspected, and inside them closures,
+// fmt calls, map/slice literals and interface boxing are flagged.
+package hotpathalloc
+
+import "fmt"
+
+type sink interface{ accept(int) }
+
+type counter struct{ n int }
+
+func (c *counter) accept(v int) { c.n += v }
+
+func feed(s sink) {
+	if s != nil {
+		s.accept(1)
+	}
+}
+
+// cold allocates freely: no marker, never inspected.
+func cold() func() int {
+	m := map[string]int{"a": 1}
+	fmt.Println(len(m))
+	return func() int { return m["a"] }
+}
+
+// hotpath
+func hotClosure(vals []int) func() int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return func() int { return total } // want `allocates a closure`
+}
+
+// hotpath
+func hotFmt(path string) error {
+	return fmt.Errorf("missing %s", path) // want `fmt\.Errorf formats through reflection`
+}
+
+// hotpath
+func hotLiterals() int {
+	m := map[string]int{} // want `map literal allocates`
+	s := []int{1, 2, 3}   // want `slice literal allocates`
+	return len(m) + len(s)
+}
+
+type stat struct{ n, m int }
+
+func (s stat) accept(v int) { _ = s.n + v }
+
+// hotpath
+func hotBoxing(s stat) {
+	feed(s) // want `boxes concrete stat into interface sink`
+}
+
+// hotpath
+func hotConversion(s stat) sink {
+	return sink(s) // want `boxes concrete stat into interface sink`
+}
+
+// hotPointer stays clean: pointers are pointer-shaped, so converting
+// them to an interface stores them directly — no allocation.
+//
+// hotpath
+func hotPointer(c *counter) {
+	feed(c)
+}
+
+// hotClean stays clean: struct and array literals, appends, builtins
+// and concrete calls do not allocate per call.
+//
+// hotpath
+func hotClean(buf []byte, v uint32) []byte {
+	tmp := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	return append(buf, tmp[:]...)
+}

@@ -582,8 +582,13 @@ func DialStalled(network, addr string, dom store.DomID, prefix string) (net.Conn
 }
 
 // readStalledReply consumes one reply frame (skipping any interleaved
-// events) and surfaces its status.
+// events) and surfaces its status. The skip count is bounded per the
+// bounded-retry contract: a stalled dial expects at most a handful of
+// events ahead of its reply, so thousands of them mean the prefix is
+// pathologically hot and giving up loudly beats spinning forever.
 func readStalledReply(nc net.Conn) error {
+	const maxStalledSkips = 1 << 10
+	skipped := 0
 	for {
 		payload, err := readFrame(nc)
 		if err != nil {
@@ -591,6 +596,11 @@ func readStalledReply(nc net.Conn) error {
 		}
 		d := &dec{b: payload}
 		if Op(d.u8()) == OpEvent {
+			skipped++
+			if skipped > maxStalledSkips {
+				return fmt.Errorf("%w: %d interleaved events while awaiting the watch reply",
+					ErrBadRequest, skipped)
+			}
 			continue
 		}
 		d.u32() // request id

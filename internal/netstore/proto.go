@@ -293,7 +293,25 @@ var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }
 
 const poolMax = 64 << 10
 
+// Cold error constructors for the //hotpath frame codecs below: fmt
+// formatting reflects and allocates, so the bound checks pay for their
+// (rare) errors out of line. The hotpathalloc vet pass enforces the
+// split (docs/LINTING.md).
+func errFrameSize(n int) error {
+	return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, n)
+}
+
+func errPathSize(n int) error {
+	return fmt.Errorf("%w: path of %d bytes exceeds MaxPath", ErrBadRequest, n)
+}
+
+func errValueSize(n int) error {
+	return fmt.Errorf("%w: value of %d bytes exceeds MaxValue", ErrBadRequest, n)
+}
+
 // getBuf returns a zero-length pooled buffer with capacity ≥ n.
+//
+// hotpath
 func getBuf(n int) []byte {
 	bp := bufPool.Get().(*[]byte)
 	b := (*bp)[:0]
@@ -306,6 +324,8 @@ func getBuf(n int) []byte {
 
 // putBuf returns a buffer obtained from getBuf (or any payload the
 // caller has finished with) to the pool.
+//
+// hotpath
 func putBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > poolMax {
 		return
@@ -317,9 +337,11 @@ func putBuf(b []byte) {
 // writeFrame sends one length-prefixed payload. Header and payload are
 // combined into one pooled buffer so each frame costs a single Write —
 // on the hot path that halves the syscalls per round trip.
+//
+// hotpath
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, len(payload))
+		return errFrameSize(len(payload))
 	}
 	buf := getBuf(4 + len(payload))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
@@ -332,6 +354,8 @@ func writeFrame(w io.Writer, payload []byte) error {
 // readFrame reads one length-prefixed payload into a fresh buffer. Use
 // readFrameReuse on per-connection read loops where the payload is fully
 // consumed before the next read.
+//
+// hotpath
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -339,7 +363,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, n)
+		return nil, errFrameSize(int(n))
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -353,6 +377,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 // possibly grown buffer for the next call. The payload is only valid
 // until the next read — callers must finish decoding (dec copies string
 // bytes out) before reading again.
+//
+// hotpath
 func readFrameReuse(r io.Reader, buf []byte) (payload, next []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -360,7 +386,7 @@ func readFrameReuse(r io.Reader, buf []byte) (payload, next []byte, err error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, buf, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrBadRequest, n)
+		return nil, buf, errFrameSize(int(n))
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
@@ -375,20 +401,29 @@ func readFrameReuse(r io.Reader, buf []byte) (payload, next []byte, err error) {
 // enc builds a payload. The zero value is ready to use.
 type enc struct{ b []byte }
 
+// hotpath
 func (e *enc) op(o Op, id uint32) *enc {
 	e.b = append(e.b, byte(o))
 	e.u32(id)
 	return e
 }
+
+// hotpath
 func (e *enc) u8(v uint8) *enc { e.b = append(e.b, v); return e }
+
+// hotpath
 func (e *enc) u32(v uint32) *enc {
 	e.b = binary.BigEndian.AppendUint32(e.b, v)
 	return e
 }
+
+// hotpath
 func (e *enc) u64(v uint64) *enc {
 	e.b = binary.BigEndian.AppendUint64(e.b, v)
 	return e
 }
+
+// hotpath
 func (e *enc) str(s string) *enc {
 	e.u32(uint32(len(s)))
 	e.b = append(e.b, s...)
@@ -408,6 +443,7 @@ func (d *dec) fail() {
 	}
 }
 
+// hotpath
 func (d *dec) u8() uint8 {
 	if d.err != nil || len(d.b) < 1 {
 		d.fail()
@@ -418,6 +454,7 @@ func (d *dec) u8() uint8 {
 	return v
 }
 
+// hotpath
 func (d *dec) u32() uint32 {
 	if d.err != nil || len(d.b) < 4 {
 		d.fail()
@@ -428,6 +465,7 @@ func (d *dec) u32() uint32 {
 	return v
 }
 
+// hotpath
 func (d *dec) u64() uint64 {
 	if d.err != nil || len(d.b) < 8 {
 		d.fail()
@@ -438,6 +476,7 @@ func (d *dec) u64() uint64 {
 	return v
 }
 
+// hotpath
 func (d *dec) str() string {
 	n := d.u32()
 	if d.err != nil || uint32(len(d.b)) < n {
@@ -450,19 +489,23 @@ func (d *dec) str() string {
 }
 
 // path decodes a string and applies the wire path bound.
+//
+// hotpath
 func (d *dec) path() string {
 	s := d.str()
 	if d.err == nil && len(s) > MaxPath {
-		d.err = fmt.Errorf("%w: path of %d bytes exceeds MaxPath", ErrBadRequest, len(s))
+		d.err = errPathSize(len(s))
 	}
 	return s
 }
 
 // value decodes a string and applies the wire value bound.
+//
+// hotpath
 func (d *dec) value() string {
 	s := d.str()
 	if d.err == nil && len(s) > MaxValue {
-		d.err = fmt.Errorf("%w: value of %d bytes exceeds MaxValue", ErrBadRequest, len(s))
+		d.err = errValueSize(len(s))
 	}
 	return s
 }

@@ -202,33 +202,45 @@ func NewServer(opts Options) *Server {
 	}
 	for i := 0; i < opts.Shards; i++ {
 		k := sim.NewKernel()
-		st := store.New(k, 0)
-		rec := trace.NewRecorder(k, opts.TraceCapacity)
-		st.SetRecorder(rec)
-		if haveFaults {
-			// Shard 0 keeps the historical stream name so single-shard
-			// fault soaks stay bit-for-bit reproducible across versions.
-			name := "netstore/faults"
-			if i > 0 {
-				name = fmt.Sprintf("netstore/faults.%d", i)
-			}
-			inj := fault.NewInjector(k, spec, stats.NewStream(seed, name))
-			inj.SetRecorder(rec)
-			if hooks := inj.StoreHooks(); hooks != nil {
-				st.SetFaultHooks(hooks)
-			}
-		}
-		rec.SetSink(s.broadcast)
-		s.shards = append(s.shards, &shard{idx: i, k: k, st: st, rec: rec, ops: make(chan func())})
+		s.shards = append(s.shards, &shard{
+			idx: i, k: k, st: store.New(k, 0),
+			rec: trace.NewRecorder(k, opts.TraceCapacity),
+			ops: make(chan func()),
+		})
 	}
 	s.k, s.st, s.rec = s.shards[0].k, s.shards[0].st, s.shards[0].rec
-	// Shard 0 owns structural paths; give it the /local/domain spine up
-	// front so cross-shard snapshots and lists always find it.
-	s.st.EnsureRoot()
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.storeLoop(sh)
 	}
+	// Wire each shard on its own loop: recorder, fault hooks and trace
+	// sink are store-loop state from the first operation onward, so even
+	// these construction-time writes go through doOn (shardsafety-
+	// enforced). Nothing is recorded during wiring, so ordering across
+	// shards does not matter.
+	for _, sh := range s.shards {
+		sh := sh
+		s.doOn(sh, func() {
+			sh.st.SetRecorder(sh.rec)
+			if haveFaults {
+				// Shard 0 keeps the historical stream name so single-shard
+				// fault soaks stay bit-for-bit reproducible across versions.
+				name := "netstore/faults"
+				if sh.idx > 0 {
+					name = fmt.Sprintf("netstore/faults.%d", sh.idx)
+				}
+				inj := fault.NewInjector(sh.k, spec, stats.NewStream(seed, name))
+				inj.SetRecorder(sh.rec)
+				if hooks := inj.StoreHooks(); hooks != nil {
+					sh.st.SetFaultHooks(hooks)
+				}
+			}
+			sh.rec.SetSink(s.broadcast)
+		})
+	}
+	// Shard 0 owns structural paths; give it the /local/domain spine up
+	// front so cross-shard snapshots and lists always find it.
+	s.doOn(s.shards[0], func() { s.st.EnsureRoot() })
 	return s
 }
 
@@ -257,6 +269,11 @@ func (s *Server) Do(fn func(st *store.Store)) bool {
 	return true
 }
 
+// storeLoop owns one shard: it drains the op queue and drives the
+// shard's private kernel, so its direct access to shard state is the
+// sanctioned baseline.
+//
+// storeloop
 func (s *Server) storeLoop(sh *shard) {
 	defer s.wg.Done()
 	for {
@@ -333,6 +350,10 @@ func (s *Server) startConn(c net.Conn) {
 		id:      s.nextConn,
 		watches: map[uint32]*connWatch{},
 		txns:    map[uint32]*connTxn{},
+		// Built here, not lazily in enqueueEvent: that is the event hot
+		// path and a per-call nil check plus literal is an allocation the
+		// hotpathalloc pass would rightly flag.
+		evIdx: map[eventKey]int{},
 	}
 	sc.qcond = sync.NewCond(&sc.qmu)
 	s.conns[sc] = struct{}{}
@@ -579,6 +600,8 @@ func (c *srvConn) shutdown() {
 
 // enqueue appends a reply frame; replies are bounded by the peer's
 // outstanding requests, so they bypass the notify-queue cap.
+//
+// hotpath
 func (c *srvConn) enqueue(payload []byte) {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
@@ -598,6 +621,8 @@ func (c *srvConn) enqueue(payload []byte) {
 // coalesces is the connection evicted. from is the shard whose store
 // loop is delivering the event (eviction must record on a loop it
 // already holds). It reports whether the connection survived.
+//
+// hotpath
 func (c *srvConn) enqueueEvent(key eventKey, payload []byte, from *shard) bool {
 	c.qmu.Lock()
 	if c.qclosed {
@@ -617,9 +642,6 @@ func (c *srvConn) enqueueEvent(key eventKey, payload []byte, from *shard) bool {
 		c.evict("notify queue overflow", from)
 		return false
 	}
-	if c.evIdx == nil {
-		c.evIdx = map[eventKey]int{}
-	}
 	c.q = append(c.q, outFrame{payload: payload, isEvent: true, key: key})
 	c.evIdx[key] = c.qbase + len(c.q) - 1
 	c.nEvents++
@@ -632,7 +654,10 @@ func (c *srvConn) enqueueEvent(key eventKey, payload []byte, from *shard) bool {
 // evict severs a connection that cannot keep up. onLoop must be the
 // shard whose store loop the caller is already running on (watch
 // delivery), where a doOn round trip would self-deadlock; nil when
-// called from a socket goroutine.
+// called from a socket goroutine. The direct onLoop.rec.Record is
+// sanctioned by the same precondition, hence the marker.
+//
+// storeloop
 func (c *srvConn) evict(reason string, onLoop *shard) {
 	if !c.dead.CompareAndSwap(false, true) {
 		c.shutdown()
@@ -649,6 +674,7 @@ func (c *srvConn) evict(reason string, onLoop *shard) {
 	}
 }
 
+// hotpath
 func (c *srvConn) writeLoop() {
 	defer c.srv.wg.Done()
 	// Frames queued while the previous write was on the wire are drained
@@ -1621,6 +1647,8 @@ func (c *srvConn) handleSync(id uint32, op Op, d *dec) []byte {
 
 // snapshotWalk emits every node at or below root readable by dom, in
 // deterministic (sorted-children) order. Runs on the owning store loop.
+//
+// storeloop
 func snapshotWalk(st *store.Store, dom store.DomID, root string, emit func(path, value string)) {
 	if v, err := st.Read(dom, root); err == nil {
 		emit(root, v)
@@ -1640,7 +1668,9 @@ func snapshotWalk(st *store.Store, dom store.DomID, root string, emit func(path,
 
 // snapshotWalkPruned is snapshotWalk, except it does not descend below
 // /local/domain — the cross-shard snapshot walks those subtrees on their
-// home shards instead.
+// home shards instead. Runs on the owning store loop.
+//
+// storeloop
 func snapshotWalkPruned(st *store.Store, dom store.DomID, root string, emit func(path, value string)) {
 	if v, err := st.Read(dom, root); err == nil {
 		emit(root, v)

@@ -233,12 +233,24 @@ func split(path string) ([]string, error) {
 	return splitInto(path, nil)
 }
 
+// Cold error constructors for the //hotpath functions below: fmt
+// formatting reflects and allocates, so the hot operations build their
+// (rare) errors through these out-of-line helpers. The hotpathalloc vet
+// pass enforces the split (docs/LINTING.md).
+func errBadPath(path string) error { return fmt.Errorf("%w: %q", ErrBadPath, path) }
+func errNoEntry(path string) error { return fmt.Errorf("%w: %s", ErrNoEntry, path) }
+func errPermission(dom DomID, verb, path string) error {
+	return fmt.Errorf("%w: dom%d %s %s", ErrPermission, dom, verb, path)
+}
+
 // splitInto is split with a caller-supplied parts buffer, so the hot
 // store operations tokenize without allocating. The returned segments
 // are substrings of path.
+//
+// hotpath
 func splitInto(path string, buf []string) ([]string, error) {
 	if path == "" || path[0] != '/' {
-		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		return nil, errBadPath(path)
 	}
 	if path == "/" {
 		return nil, nil
@@ -249,12 +261,12 @@ func splitInto(path string, buf []string) ([]string, error) {
 		i := strings.IndexByte(rest, '/')
 		if i < 0 {
 			if rest == "" {
-				return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+				return nil, errBadPath(path)
 			}
 			return append(parts, rest), nil
 		}
 		if i == 0 {
-			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+			return nil, errBadPath(path)
 		}
 		parts = append(parts, rest[:i])
 		rest = rest[i+1:]
@@ -265,6 +277,8 @@ func splitInto(path string, buf []string) ([]string, error) {
 // matchScratch it leans on the kernel-goroutine discipline for node
 // operations; callers must not retain the result past their own return
 // (Watch, which retains its prefix, uses split instead).
+//
+// hotpath
 func (s *Store) splitScratch(path string) ([]string, error) {
 	parts, err := splitInto(path, s.partsScratch)
 	if cap(parts) > cap(s.partsScratch) {
@@ -398,6 +412,8 @@ func (c *Cursor) Path() string { return c.path }
 
 // cursorEntry returns the pinned entry, re-pinning from the path cache
 // after an invalidation (nil when the path has no cached resolution).
+//
+// hotpath
 func (s *Store) cursorEntry(c *Cursor) *pathEntry {
 	if c.e != nil && c.gen == s.cacheGen {
 		return c.e
@@ -407,6 +423,8 @@ func (s *Store) cursorEntry(c *Cursor) *pathEntry {
 }
 
 // WriteCursor is Write through a pinned cursor.
+//
+// hotpath
 func (s *Store) WriteCursor(dom DomID, c *Cursor, value string) error {
 	if e := s.cursorEntry(c); e != nil {
 		return s.writeEntry(dom, e, c.path, value, -1)
@@ -419,6 +437,8 @@ func (s *Store) WriteCursor(dom DomID, c *Cursor, value string) error {
 }
 
 // ReadCursor is Read through a pinned cursor.
+//
+// hotpath
 func (s *Store) ReadCursor(dom DomID, c *Cursor) (string, error) {
 	e := s.cursorEntry(c)
 	if e == nil {
@@ -429,7 +449,7 @@ func (s *Store) ReadCursor(dom DomID, c *Cursor) (string, error) {
 		return v, err
 	}
 	if !canRead(e.n, dom) {
-		return "", fmt.Errorf("%w: dom%d reading %s", ErrPermission, dom, c.path)
+		return "", errPermission(dom, "reading", c.path)
 	}
 	s.reads++
 	return e.n.value, nil
@@ -452,6 +472,8 @@ func canWrite(n *node, dom DomID) bool {
 }
 
 // Read returns the value at path on behalf of dom.
+//
+// hotpath
 func (s *Store) Read(dom DomID, path string) (string, error) {
 	n := s.pathNode(path)
 	if n == nil {
@@ -460,18 +482,20 @@ func (s *Store) Read(dom DomID, path string) (string, error) {
 			return "", err
 		}
 		if n = s.lookup(parts); n == nil {
-			return "", fmt.Errorf("%w: %s", ErrNoEntry, path)
+			return "", errNoEntry(path)
 		}
 		s.cachePath(path, parts, n)
 	}
 	if !canRead(n, dom) {
-		return "", fmt.Errorf("%w: dom%d reading %s", ErrPermission, dom, path)
+		return "", errPermission(dom, "reading", path)
 	}
 	s.reads++
 	return n.value, nil
 }
 
 // pathNode returns the memoized node for path, or nil on a cache miss.
+//
+// hotpath
 func (s *Store) pathNode(path string) *node {
 	if e := s.pathCache[path]; e != nil {
 		return e.n
@@ -520,10 +544,12 @@ func (s *Store) Write(dom DomID, path, value string) error {
 // writeEntry applies a write through a resolved cache entry; firstCreated
 // is the index of the shallowest node the resolution created (-1 when the
 // whole chain already existed).
+//
+// hotpath
 func (s *Store) writeEntry(dom DomID, e *pathEntry, path, value string, firstCreated int) error {
 	parts, n := e.parts, e.n
 	if !canWrite(n, dom) {
-		return fmt.Errorf("%w: dom%d writing %s", ErrPermission, dom, path)
+		return errPermission(dom, "writing", path)
 	}
 	old := n.value // "" when the leaf was just created
 	if s.faults != nil && s.faults.DropWrite != nil && s.faults.DropWrite(dom, path) {

@@ -245,7 +245,15 @@ func TestTxnConcurrentRetryLoops(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < increments; i++ {
-				for {
+				// The conflict retry is bounded: a livelock here would
+				// otherwise hang the whole suite, and 10k failed commits
+				// for one increment across 8 workers means the conflict
+				// detector is broken, not unlucky.
+				for attempt := 0; ; attempt++ {
+					if attempt > 10000 {
+						t.Errorf("increment starved: %d conflict retries without a commit", attempt)
+						return
+					}
 					mu.Lock()
 					txn := s.Begin(3)
 					v, err := txn.Read(base + "/counter")
