@@ -1,7 +1,7 @@
 # Standard verification pipeline: `make check` is what CI runs.
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-sim check chaos experiments clean
+.PHONY: all build fmt vet lint test race bench bench-sim check chaos sla experiments clean
 
 all: check
 
@@ -60,6 +60,16 @@ check: fmt vet lint build test race
 # control-plane fault rates at quick scale (docs/FAULTS.md).
 chaos:
 	$(GO) run ./cmd/experiments -run chaos
+
+# Tiered-SLA gate (docs/GSTATES.md): the sweep's acceptance tests —
+# gold within bronze's violation budget under gstate, strictly fewer
+# gold violation-seconds than the no-gstate baseline on every tier mix,
+# and the chaos composition (an uncooperative bronze guest must not
+# cause extra gold violation episodes) — then the sweep itself for the
+# human-readable tables.
+sla:
+	$(GO) test -run 'TestSLA' -v ./internal/experiments/
+	$(GO) run ./cmd/experiments -run sla
 
 # Quick-scale regeneration of every paper figure, with decision traces.
 experiments:

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"iorchestra/internal/federation"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/netstore"
 	"iorchestra/internal/store"
 )
@@ -145,6 +146,29 @@ func (v netView) SyncSubtree(root string, since, known uint64) (federation.SyncP
 // cmdJoin registers the host and heartbeats until a signal, then leaves
 // gracefully by removing its entry (so peers see a leave, not a TTL
 // expiry).
+// parseTierList maps a comma-separated -tiers value onto a zero-count
+// census: key presence declares capability (docs/GSTATES.md §7), and a
+// freshly joined host has admitted nobody. Unknown tier names are
+// rejected rather than defaulted — a typo silently demoting a host to
+// bronze-only would be a placement bug waiting to be found in an
+// incident.
+func parseTierList(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	counts := map[string]int{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		switch gstate.Tier(name) {
+		case gstate.Gold, gstate.Silver, gstate.Bronze:
+			counts[name] = 0
+		default:
+			return nil, fmt.Errorf("join: bad -tiers entry %q: want gold, silver or bronze", name)
+		}
+	}
+	return counts, nil
+}
+
 func cmdJoin(args []string) error {
 	fs := flag.NewFlagSet("join", flag.ExitOnError)
 	url, token := storeFlags(fs)
@@ -156,9 +180,14 @@ func cmdJoin(args []string) error {
 	queue := fs.Int("queue-depth", 0, "queue depth to publish each beat")
 	util := fs.Float64("util", 0, "device utilization fraction to publish each beat")
 	p99 := fs.Float64("p99-ms", 0, "host-path p99 latency (ms) to publish each beat")
+	tiers := fs.String("tiers", "", "comma-separated SLA tiers this host admits, e.g. gold,silver,bronze (empty = untiered host; a place -tier request needs the tier in this census)")
 	fs.Parse(args)
 	if *id == "" || *cores <= 0 {
 		return fmt.Errorf("join: -id and -cores are required")
+	}
+	tierCounts, err := parseTierList(*tiers)
+	if err != nil {
+		return err
 	}
 	c, err := dial(*url, *token)
 	if err != nil {
@@ -179,6 +208,9 @@ func cmdJoin(args []string) error {
 		federation.PublishHostLoad(v, *id, federation.HostLoad{
 			ActiveVCPUs: *active, QueueDepth: *queue, Util: *util, P99Ms: *p99,
 		})
+		if len(tierCounts) > 0 {
+			federation.PublishTierCounts(v, *id, tierCounts)
+		}
 		federation.PublishHeartbeat(v, *id, beat)
 		if err := c.Err(); err != nil {
 			return fmt.Errorf("join: store connection lost: %w", err)
@@ -331,6 +363,7 @@ func cmdPlace(args []string) error {
 	guest := fs.String("guest", "", "guest uid (required)")
 	vcpus := fs.Int("vcpus", 0, "VCPU ask (required)")
 	class := fs.String("class", "", "required domain class (empty = any)")
+	tier := fs.String("tier", "", "guest SLA tier: gold, silver or bronze (empty = untiered; hosts must publish the tier in their /tiers census)")
 	mode := fs.String("mode", "enforce", "infeasibility handling: enforce or permissive")
 	overcommit := fs.Float64("overcommit", 1.0, "capacity scale factor")
 	wq := fs.Float64("w-queue", 0, "queue-depth weight (0 0 0 = defaults 0.4/0.4/0.2)")
@@ -340,6 +373,11 @@ func cmdPlace(args []string) error {
 	fs.Parse(args)
 	if *guest == "" || *vcpus <= 0 {
 		return fmt.Errorf("place: -guest and -vcpus are required")
+	}
+	switch *tier {
+	case "", "gold", "silver", "bronze":
+	default:
+		return fmt.Errorf("place: -tier %q: want gold, silver or bronze", *tier)
 	}
 	pol := federation.Policy{
 		Overcommit:  *overcommit,
@@ -366,7 +404,7 @@ func cmdPlace(args []string) error {
 		hosts = append(hosts, hs)
 	}
 	scores, winner, decision := federation.ScoreHosts(pol, federation.Request{
-		Guest: *guest, VCPUs: *vcpus, Class: *class,
+		Guest: *guest, VCPUs: *vcpus, Class: *class, Tier: *tier,
 	}, hosts)
 	out := placeDecision{Guest: *guest, Mode: decision, Scores: scores}
 	if winner >= 0 {

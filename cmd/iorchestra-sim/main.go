@@ -17,6 +17,8 @@ import (
 
 	"iorchestra"
 	"iorchestra/internal/apps"
+	"iorchestra/internal/core"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/metrics"
 	"iorchestra/internal/pagecache"
@@ -43,6 +45,25 @@ func formatCounts(c map[string]uint64) string {
 	return strings.Join(parts, " ")
 }
 
+// parsePolicies maps a -policies name to the controller subset it
+// enables, rejecting unknown names with the full menu (mirrors
+// cmd/sim-bench).
+func parsePolicies(s string) (core.Policies, error) {
+	switch s {
+	case "all":
+		return core.All(), nil
+	case "flush":
+		return core.Policies{Flush: true}, nil
+	case "congestion":
+		return core.Policies{Congestion: true}, nil
+	case "cosched":
+		return core.Policies{Cosched: true}, nil
+	case "gstate":
+		return core.Policies{GState: true}, nil
+	}
+	return core.Policies{}, fmt.Errorf("bad -policies %q: want flush|congestion|cosched|gstate|all", s)
+}
+
 func main() {
 	system := flag.String("system", "iorchestra", "baseline | sdc | dif | iorchestra")
 	wl := flag.String("workload", "fs", "fs | burstyfs | ws | vs | multistream | ycsb1 | ycsb2 | blast | cloud9")
@@ -53,6 +74,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write an NDJSON decision trace to this file (see cmd/iorchestra-trace)")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. uncoop=0.5,crash=0.25@2s+3s,stucksync=0.5 (see docs/FAULTS.md)")
+	policies := flag.String("policies", "", "policy subset for -system iorchestra: flush | congestion | cosched | gstate | all (empty = the paper's three)")
 	flag.Parse()
 
 	var sys iorchestra.System
@@ -71,6 +93,16 @@ func main() {
 	}
 
 	var popts []iorchestra.Option
+	gstateOn := false
+	if *policies != "" {
+		pol, err := parsePolicies(*policies)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gstateOn = pol.GState
+		popts = append(popts, iorchestra.WithPolicies(pol))
+	}
 	if *traceOut != "" {
 		popts = append(popts, iorchestra.WithTracing(0))
 	}
@@ -88,8 +120,22 @@ func main() {
 	type resultFn func() (*metrics.Histogram, float64) // latency, bytes
 	var results []resultFn
 
+	// Under -policies gstate each VM declares an SLA tier round-robin
+	// (gold, silver, bronze, ...); NewTieredVM publishes the declaration
+	// before the controllers attach, so admission control sees it.
+	vmIndex := 0
+	makeVM := func(disk guest.DiskConfig) *iorchestra.VM {
+		i := vmIndex
+		vmIndex++
+		if gstateOn {
+			tier := []gstate.Tier{gstate.Gold, gstate.Silver, gstate.Bronze}[i%3]
+			return p.NewTieredVM(tier, gstate.SLA{}, *vcpus, *vcpus, disk)
+		}
+		return p.NewVM(*vcpus, *vcpus, disk)
+	}
+
 	newVM := func() *iorchestra.VM {
-		return p.NewVM(*vcpus, *vcpus, guest.DiskConfig{
+		return makeVM(guest.DiskConfig{
 			Name: "xvda",
 			CacheConfig: pagecache.Config{
 				TotalPages: (1 << 30) / pagecache.PageSize,
@@ -102,7 +148,7 @@ func main() {
 	// Algorithm 1 can act. The scenario that exercises flush orders (and,
 	// with -faults, the flush-deadline machinery — docs/FAULTS.md).
 	newBurstyVM := func(i int) workload.Personality {
-		vm := p.NewVM(*vcpus, *vcpus, guest.DiskConfig{
+		vm := makeVM(guest.DiskConfig{
 			Name: "xvda",
 			CacheConfig: pagecache.Config{
 				TotalPages:      (1 << 30) / pagecache.PageSize,
@@ -215,6 +261,10 @@ func main() {
 		fmt.Printf("degradation: %d heartbeat misses, %d flush timeouts, %d release retries, %d release timeouts, %d hold timeouts, %d fallbacks, %d restores\n",
 			c.HeartbeatMisses, c.FlushTimeouts, c.ReleaseRetries, c.ReleaseTimeouts,
 			c.HoldTimeouts, c.Fallbacks, c.Restores)
+		if gstateOn {
+			fmt.Printf("gstate: %d demotions, %d promotions, %d sla violations, %d admissions, %d deferrals\n",
+				c.GStateDemotes, c.GStatePromotes, c.SLAViolations, c.GStateAdmits, c.GStateDefers)
+		}
 	}
 	r, w, n := p.Host.Store().Stats()
 	fmt.Printf("system store: %d reads, %d writes, %d notifications\n", r, w, n)

@@ -34,7 +34,7 @@
 //	        "write_interval_ms": 10,         // per-guest writer cadence
 //	        "burst_writes": 50,              // writes per burst, then pause
 //	        "pause_ms": 700,                 // inter-burst flush window
-//	        "policies": "all",               // flush|congestion|cosched|all
+//	        "policies": "all",               // flush|congestion|cosched|gstate|all
 //	        "seed": 7,                       // scenario RNG seed
 //	        "epoch_ms": 50                   // parallel barrier epoch
 //	      },
@@ -46,7 +46,9 @@
 //	        "flush_notices": 12,             // control-plane activity, summed
 //	        "congest_confirms": 0,           //   over hosts (sanity that the
 //	        "congest_vetoes": 340,           //   policies actually ran)
-//	        "cosched_runs": 40
+//	        "cosched_runs": 40,
+//	        "gstate_demotes": 0,             //   gstate policy activity (0
+//	        "sla_violations": 0              //   unless -policies gstate)
 //	      },
 //	      "pass": true
 //	    }
@@ -69,6 +71,7 @@ import (
 
 	"iorchestra/internal/cluster"
 	"iorchestra/internal/core"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/pagecache"
@@ -99,6 +102,8 @@ type results struct {
 	CongestConfirms uint64  `json:"congest_confirms"`
 	CongestVetoes   uint64  `json:"congest_vetoes"`
 	CoschedRuns     uint64  `json:"cosched_runs"`
+	GStateDemotes   uint64  `json:"gstate_demotes"`
+	SLAViolations   uint64  `json:"sla_violations"`
 }
 
 func main() {
@@ -107,7 +112,7 @@ func main() {
 	simtime := flag.Duration("simtime", 2*time.Second, "measured span of simulated time")
 	warmup := flag.Duration("warmup", time.Second, "untimed simulated lead-in to steady state")
 	epoch := flag.Duration("epoch", 50*time.Millisecond, "parallel-kernel barrier epoch")
-	policies := flag.String("policies", "all", "policies to enable: flush|congestion|cosched|all")
+	policies := flag.String("policies", "all", "policies to enable: flush|congestion|cosched|gstate|all")
 	seed := flag.Int64("seed", 7, "scenario RNG seed")
 	out := flag.String("out", "BENCH_sim.json", "trajectory path (runs are appended)")
 	gate := flag.Bool("gate", true, "fail if throughput drops >20% below the best comparable tracked run")
@@ -179,8 +184,10 @@ func parsePolicies(s string) (core.Policies, error) {
 		return core.Policies{Congestion: true}, nil
 	case "cosched":
 		return core.Policies{Cosched: true}, nil
+	case "gstate":
+		return core.Policies{GState: true}, nil
 	}
-	return core.Policies{}, fmt.Errorf("bad -policies %q: want flush|congestion|cosched|all", s)
+	return core.Policies{}, fmt.Errorf("bad -policies %q: want flush|congestion|cosched|gstate|all", s)
 }
 
 // policyActive checks the enabled control plane actually made decisions
@@ -234,6 +241,13 @@ func buildBench(cfg config, pol core.Policies) *bench {
 				guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
 					WakeInterval: 30 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
 				}})
+			if pol.GState {
+				// Declare a deterministic tier mix before admission so the
+				// gstate bench exercises the full demotion ladder: every
+				// third guest gold, silver, bronze in turn.
+				tier := []gstate.Tier{gstate.Gold, gstate.Silver, gstate.Bronze}[i%3]
+				gstate.PublishSLA(tb.Host(h).Store(), rt.G.ID(), tier, gstate.SLA{})
+			}
 			m.EnableGuest(rt)
 			d := rt.G.Disk("xvda")
 			p := rt.G.NewProcess(1)

@@ -35,7 +35,8 @@ var MonitorOnly = &Analyzer{
 	AppliesTo: func(pkgPath string) bool {
 		return pkgPath == "iorchestra/internal/core" ||
 			pkgPath == "iorchestra/internal/baselines" ||
-			pkgPath == "iorchestra/internal/federation"
+			pkgPath == "iorchestra/internal/federation" ||
+			pkgPath == "iorchestra/internal/gstate"
 	},
 	Run: runMonitorOnly,
 }

@@ -23,3 +23,12 @@ func (p *policy) tick() {
 	_ = p.h.Kernel()
 	_ = p.h.Monitor()
 }
+
+// gstateTick mimics the G-state controller's measurement pattern: the
+// sanctioned Monitor snapshot and per-guest latency stats pass, a
+// direct backend-utilization read is flagged.
+func (p *policy) gstateTick() {
+	_ = p.mon.DeviceSnapshot(0)
+	_, _ = p.mon.GuestPathStats(1)
+	_ = p.h.BackendUtilization(0) // want "touches Host.BackendUtilization directly"
+}

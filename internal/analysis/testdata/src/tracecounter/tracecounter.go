@@ -12,6 +12,8 @@ type ctl struct {
 	restores        uint64
 	places          uint64
 	expiries        uint64
+	gstateDemotes   uint64
+	gstateAdmits    uint64
 }
 
 // good keeps the mirror: emission and increment in the same function.
@@ -50,4 +52,20 @@ func (c *ctl) clusterGood(host string) {
 // clusterMissingCounter emits a cluster kind without the mirrored bump.
 func (c *ctl) clusterMissingCounter(host string) {
 	c.rec.Record(trace.Record{Kind: trace.KindClusterExpire, Host: host}) // want "KindClusterExpire emitted without incrementing the mirrored expiries counter"
+}
+
+// gstateGood keeps the mirror for a G-state kind.
+func (c *ctl) gstateGood(dom int) {
+	c.gstateDemotes++
+	c.rec.Record(trace.Record{Kind: trace.KindGStateDemote, Dom: dom})
+}
+
+// gstateMissingCounter emits a G-state kind without the mirrored bump.
+func (c *ctl) gstateMissingCounter(dom int) {
+	c.rec.Record(trace.Record{Kind: trace.KindGStateViolation, Dom: dom}) // want "KindGStateViolation emitted without incrementing the mirrored gstateViolations counter"
+}
+
+// gstateMissingTrace bumps a G-state counter without the mirrored event.
+func (c *ctl) gstateMissingTrace() {
+	c.gstateAdmits++ // want "gstateAdmits incremented without emitting the mirrored trace.KindGStateAdmit"
 }

@@ -32,6 +32,15 @@ var degradationKinds = map[string]string{
 	"KindClusterMigrateSync":  "migrateSyncs",
 	"KindClusterMigrateDone":  "migrateDones",
 	"KindClusterMigrateAbort": "migrateAborts",
+	// internal/core's elastic G-state decisions (docs/GSTATES.md). The
+	// counter names carry the gstate prefix because this map is checked
+	// across modules: a bare "demotes" would collide with any future
+	// counter of that name elsewhere.
+	"KindGStateDemote":    "gstateDemotes",
+	"KindGStatePromote":   "gstatePromotes",
+	"KindGStateViolation": "gstateViolations",
+	"KindGStateAdmit":     "gstateAdmits",
+	"KindGStateDefer":     "gstateDefers",
 }
 
 // degradationCounters is the reverse index.
@@ -55,7 +64,8 @@ var TraceCounter = &Analyzer{
 		"contract: docs/FAULTS.md for core, docs/CLUSTER.md for federation)",
 	AppliesTo: func(pkgPath string) bool {
 		return pkgPath == "iorchestra/internal/core" ||
-			pkgPath == "iorchestra/internal/federation"
+			pkgPath == "iorchestra/internal/federation" ||
+			pkgPath == "iorchestra/internal/gstate"
 	},
 	Run: runTraceCounter,
 }

@@ -169,6 +169,14 @@ type Queue struct {
 	// tagged with recDom (the owning domain).
 	rec    *trace.Recorder
 	recDom int
+
+	// congestScale (0 = unscaled) shrinks the congestion thresholds
+	// below the stock 7/8 and 13/16 points — the per-guest
+	// congestion-threshold actuation of the G-state subsystem
+	// (docs/GSTATES.md): a demoted guest engages avoidance earlier, so
+	// its producers feel backpressure before the shrunken device share
+	// backs the queue up.
+	congestScale float64
 }
 
 // NewQueue builds a block-layer queue dispatching to lower.
@@ -238,12 +246,40 @@ func (q *Queue) Latency() *metrics.Histogram { return q.latency }
 // QueueLatency exposes the submit→dispatch histogram.
 func (q *Queue) QueueLatency() *metrics.Histogram { return q.queueLatency }
 
-// onThreshold and offThreshold are the Linux 7/8 and 13/16 points.
+// SetCongestScale scales both congestion thresholds by f in (0, 1] —
+// the guest driver applies its published G-state weight here, so a
+// demoted guest self-throttles at a proportionally smaller backlog.
+// Values outside (0, 1] reset to unscaled. Already-parked producers are
+// unaffected; the new thresholds apply from the next submission.
+func (q *Queue) SetCongestScale(f float64) {
+	if f <= 0 || f >= 1 {
+		f = 0
+	}
+	q.congestScale = f
+}
+
+// CongestScale reports the active threshold scale (0 = unscaled).
+func (q *Queue) CongestScale() float64 { return q.congestScale }
+
+// onThreshold and offThreshold are the Linux 7/8 and 13/16 points,
+// shrunk by the G-state congestion scale when one is set. The scaled
+// on-threshold never drops below 1, and both scale by the same factor
+// so engage stays at or above release.
 func (q *Queue) onThreshold() int {
-	return q.cfg.Limit * device.CongestedOnNum / device.CongestedOnDen
+	t := q.cfg.Limit * device.CongestedOnNum / device.CongestedOnDen
+	if q.congestScale > 0 {
+		if t = int(float64(t) * q.congestScale); t < 1 {
+			t = 1
+		}
+	}
+	return t
 }
 func (q *Queue) offThreshold() int {
-	return q.cfg.Limit * device.CongestedOffNum / device.CongestedOffDen
+	t := q.cfg.Limit * device.CongestedOffNum / device.CongestedOffDen
+	if q.congestScale > 0 {
+		t = int(float64(t) * q.congestScale)
+	}
+	return t
 }
 
 // Submit enqueues a request from a producer. If the queue is congested

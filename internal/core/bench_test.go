@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/pagecache"
@@ -25,6 +26,12 @@ func benchHost(n int, pol Policies) *sim.Kernel {
 			guest.DiskConfig{Name: "xvda", CacheConfig: pagecache.Config{
 				WakeInterval: 30 * sim.Second, DirtyRatio: 0.9, BackgroundRatio: 0.8,
 			}})
+		if pol.GState {
+			// Declare a round-robin tier mix before EnableGuest so the
+			// G-state controller's synchronous Attach sees the SLA.
+			tier := []gstate.Tier{gstate.Gold, gstate.Silver, gstate.Bronze}[i%3]
+			gstate.PublishSLA(h.Store(), rt.G.ID(), tier, gstate.SLA{})
+		}
 		m.EnableGuest(rt)
 		d := rt.G.Disk("xvda")
 		p := rt.G.NewProcess(1)
@@ -57,6 +64,9 @@ func BenchmarkManagerTick(b *testing.B) {
 		{"flush", 8, Policies{Flush: true}},
 		{"congestion", 8, Policies{Congestion: true}},
 		{"cosched", 8, Policies{Cosched: true}},
+		{"gstate", 8, Policies{GState: true}},
+		{"gstate", 100, Policies{GState: true}},
+		{"gstate", 1000, Policies{GState: true}},
 		{"all", 8, All()},
 		{"all", 100, All()},
 		{"all", 1000, All()},

@@ -8,9 +8,13 @@ type Policies struct {
 	Flush      bool // Algorithm 1: cross-domain dirty-page flush control
 	Congestion bool // Algorithm 2: collaborative congestion control
 	Cosched    bool // Sec. 3.3: inter-domain I/O co-scheduling
+	GState     bool // elastic G-states: tiered-SLA performance states (docs/GSTATES.md)
 }
 
-// All enables every policy — the full IOrchestra configuration.
+// All enables every paper policy — the full IOrchestra configuration.
+// GState is a post-paper extension and stays opt-in: it assumes the
+// backend I/O model and is unsupported alongside Cosched, which drives
+// the same cgroup weights.
 func All() Policies { return Policies{Flush: true, Congestion: true, Cosched: true} }
 
 // ManagerConfig tunes the hypervisor-side modules.
@@ -40,6 +44,26 @@ type ManagerConfig struct {
 	// latency there is no contention worth rebalancing, and migrations
 	// would only disturb cache and CPU co-location.
 	CoschedMinLatency sim.Duration
+
+	// Elastic G-states (docs/GSTATES.md).
+
+	// GStateInterval paces the G-state control loop (default 100 ms).
+	GStateInterval sim.Duration
+	// GStateHighUtil is the device-utilization fraction at or above
+	// which a tick counts as pressure (default 0.85); host congestion
+	// counts as pressure regardless.
+	GStateHighUtil float64
+	// GStateLowUtil is the utilization fraction at or below which an
+	// uncongested tick counts as relief (default 0.55). The band between
+	// the two thresholds is neutral and resets both hysteresis counters.
+	GStateLowUtil float64
+	// GStateDemoteAfter is how many consecutive pressure ticks trigger
+	// one demotion step (default 3).
+	GStateDemoteAfter int
+	// GStatePromoteAfter is how many consecutive relief ticks trigger
+	// one promotion step (default 5 — recovery is deliberately slower
+	// than demotion so the ladder does not oscillate).
+	GStatePromoteAfter int
 
 	// Graceful degradation (docs/FAULTS.md). The paper's host waits on
 	// guest cooperation; these bounds make every wait finite so one bad
@@ -97,6 +121,21 @@ func (c *ManagerConfig) fillDefaults() {
 	}
 	if c.CoschedMinLatency <= 0 {
 		c.CoschedMinLatency = 150 * sim.Microsecond
+	}
+	if c.GStateInterval <= 0 {
+		c.GStateInterval = 100 * sim.Millisecond
+	}
+	if c.GStateHighUtil <= 0 {
+		c.GStateHighUtil = 0.85
+	}
+	if c.GStateLowUtil <= 0 {
+		c.GStateLowUtil = 0.55
+	}
+	if c.GStateDemoteAfter <= 0 {
+		c.GStateDemoteAfter = 3
+	}
+	if c.GStatePromoteAfter <= 0 {
+		c.GStatePromoteAfter = 5
 	}
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 350 * sim.Millisecond

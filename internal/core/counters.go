@@ -20,6 +20,13 @@ type Counters struct {
 	// Sec. 3.3: co-scheduling.
 	CoschedRuns uint64 // weight updates applied
 
+	// Elastic G-states (docs/GSTATES.md).
+	GStateDemotes  uint64 // guests stepped one G-state deeper
+	GStatePromotes uint64 // guests stepped back toward G0
+	SLAViolations  uint64 // violation episodes opened (onsets, not seconds)
+	GStateAdmits   uint64 // guests admitted (immediate or deferred)
+	GStateDefers   uint64 // bronze arrivals parked while gold was violating
+
 	// Liveness middleware.
 	HeartbeatMisses uint64 // stale-heartbeat detections
 	Fallbacks       uint64 // guests demoted to Baseline behavior
@@ -45,6 +52,13 @@ func (m *Manager) Counters() Counters {
 	}
 	if sc := m.cosched; sc != nil {
 		c.CoschedRuns = sc.runs
+	}
+	if gc := m.gstate; gc != nil {
+		c.GStateDemotes = gc.gstateDemotes
+		c.GStatePromotes = gc.gstatePromotes
+		c.SLAViolations = gc.gstateViolations
+		c.GStateAdmits = gc.gstateAdmits
+		c.GStateDefers = gc.gstateDefers
 	}
 	c.HeartbeatMisses = m.live.heartbeatMisses
 	c.Fallbacks = m.live.fallbacks

@@ -6,6 +6,7 @@ import (
 
 	"iorchestra/internal/blkio"
 	"iorchestra/internal/bus"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
@@ -338,6 +339,8 @@ func (drv *Driver) onStoreEvent(rel, value string) {
 		if value == "1" {
 			drv.handleRelease()
 		}
+	case rel == keySLAState:
+		drv.applyGState(value)
 	case strings.HasPrefix(rel, keyTargetPrefix+"/"):
 		drv.applyTargets()
 	}
@@ -377,6 +380,25 @@ func (drv *Driver) handleRelease() {
 		drv.dom.WriteBool(dd.kCongested, false)
 	}
 	drv.dom.WriteBool(keyReleaseRequest, false)
+}
+
+// --- Elastic G-states (docs/GSTATES.md, guest side) ------------------------
+
+// applyGState is the collaborative half of a G-state transition: the
+// manager published a new state index under sla/state, and the guest
+// answers by scaling every disk queue's congestion thresholds by the
+// state's weight — a demoted guest engages avoidance at a
+// proportionally smaller backlog, backpressuring its own producers
+// before its shrunken device share backs the host queue up.
+func (drv *Driver) applyGState(value string) {
+	n, err := strconv.Atoi(value)
+	if err != nil || n < 0 {
+		return
+	}
+	w := gstate.State(n).Weight()
+	for _, name := range sortedNames(drv.disks) {
+		drv.disks[name].v.Queue.SetCongestScale(w)
+	}
 }
 
 // --- Co-scheduling (Sec. 3.3, guest side) ----------------------------------

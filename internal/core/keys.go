@@ -80,6 +80,12 @@ const (
 	// The manager's liveness signal: a beat older than HeartbeatTimeout
 	// demotes the guest to Baseline behavior.
 	keyHeartbeat = "iorchestra/heartbeat"
+	// keySLAState (int, sla/state) — manager-published current G-state
+	// index (0 = G0, docs/GSTATES.md); the guest driver watches it and
+	// scales its congestion thresholds by the state's weight. The rest of
+	// the /sla subtree (tier, targets) belongs to internal/gstate.
+	keySLAState = "sla/state"
+
 	// keyFallback (bool, iorchestra/fallback) — manager-written mirror of
 	// the guest's degradation state ("1" while the guest is treated as
 	// Baseline), published for operators and the trace CLI; nothing in

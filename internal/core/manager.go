@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"iorchestra/internal/fault"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
@@ -42,6 +43,7 @@ type Manager struct {
 	flush   *flushController
 	congest *congestController
 	cosched *coschedController
+	gstate  *gstateController
 
 	// Store-event routing tables, built from each handler's Routes().
 	diskRoutes   map[string][]StoreHandler
@@ -85,6 +87,10 @@ func NewManager(h *hypervisor.Host, pol Policies, cfg ManagerConfig, rng *stats.
 	if pol.Cosched {
 		m.cosched = newCoschedController(m)
 		m.register(m.cosched)
+	}
+	if pol.GState {
+		m.gstate = newGStateController(m)
+		m.register(m.gstate)
 	}
 	// The management module is called when there is a change on watched
 	// items (Fig. 3): one privileged watch over all domains, fanned out
@@ -177,6 +183,16 @@ func (m *Manager) DisableGuest(dom store.DomID) {
 
 // Driver returns the installed driver for a domain (nil if not enabled).
 func (m *Manager) Driver(dom store.DomID) *Driver { return m.drivers[dom] }
+
+// GStateMeter exposes the G-state controller's SLA-violation meter for
+// the tiered experiments' per-tier reporting — nil when the gstate
+// policy is off.
+func (m *Manager) GStateMeter() *gstate.Meter {
+	if m.gstate == nil {
+		return nil
+	}
+	return m.gstate.Meter()
+}
 
 // InFallback reports whether dom is currently demoted (read-only; use
 // Cooperative to also run the lazy heartbeat check).

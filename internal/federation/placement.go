@@ -6,6 +6,8 @@ package federation
 // enforce/permissive modes); docs/CLUSTER.md §3 is the normative
 // description, including the worked example the tests pin down.
 
+import "iorchestra/internal/gstate"
+
 // Mode selects how placement treats infeasibility.
 type Mode int
 
@@ -40,6 +42,12 @@ type Policy struct {
 	QueueWeight   float64
 	UtilWeight    float64
 	LatencyWeight float64
+	// TierWeight is the gold-spread preference (default 0.2): a gold
+	// request favors hosts holding fewer gold guests, so the strongest
+	// tier does not concentrate on one hypervisor. It only contributes
+	// for gold requests — untiered and weaker-tier requests score
+	// exactly as before tiering existed.
+	TierWeight float64
 }
 
 func (p *Policy) fillDefaults() {
@@ -48,6 +56,9 @@ func (p *Policy) fillDefaults() {
 	}
 	if p.QueueWeight == 0 && p.UtilWeight == 0 && p.LatencyWeight == 0 {
 		p.QueueWeight, p.UtilWeight, p.LatencyWeight = 0.4, 0.4, 0.2
+	}
+	if p.TierWeight == 0 {
+		p.TierWeight = 0.2
 	}
 }
 
@@ -61,6 +72,12 @@ type Request struct {
 	// host to be feasible (a hard constraint, relaxed only by the
 	// permissive fallback).
 	Class string
+	// Tier, when non-empty, is the guest's SLA tier ("gold", "silver",
+	// "bronze"; internal/gstate's taxonomy). The host must admit the
+	// tier — publish it under its registry /tiers subtree — for the host
+	// to be feasible; gold requests additionally prefer hosts with fewer
+	// gold guests (see Policy.TierWeight).
+	Tier string
 }
 
 // HostStats is one candidate's scoring input, as read from the registry
@@ -74,13 +91,26 @@ type HostStats struct {
 	QueueDepth  int
 	Util        float64
 	P99Ms       float64
+	// TierCounts is the host's per-tier admitted-guest census as
+	// published under /cluster/hypervisors/<id>/tiers: a key's presence
+	// declares the host admits that tier (even at count 0), its value is
+	// how many such guests the host currently holds. A nil map is a host
+	// that predates tiering — feasible only for untiered requests.
+	TierCounts map[string]int
+}
+
+// AdmitsTier reports whether the host declares capability for tier.
+func (h HostStats) AdmitsTier(tier string) bool {
+	_, ok := h.TierCounts[tier]
+	return ok
 }
 
 // HostScore is one candidate's scoring outcome.
 type HostScore struct {
 	HostStats
 	// Feasible reports whether every hard constraint passed; Reason
-	// names the first failed constraint ("dead", "capacity", "class").
+	// names the first failed constraint ("dead", "capacity", "class",
+	// "tier").
 	Feasible bool
 	Reason   string
 	// Score is the weighted soft preference in [0, 1]; only meaningful
@@ -113,7 +143,7 @@ func ScoreHosts(pol Policy, req Request, hosts []HostStats) (scores []HostScore,
 	pol.fillDefaults()
 	scores = make([]HostScore, len(hosts))
 	anyLive := false
-	// Hard constraints first: liveness, capacity, class.
+	// Hard constraints first: liveness, capacity, class, tier.
 	for i, h := range hosts {
 		s := HostScore{HostStats: h}
 		switch {
@@ -123,6 +153,8 @@ func ScoreHosts(pol Policy, req Request, hosts []HostStats) (scores []HostScore,
 			s.Reason = "capacity"
 		case req.Class != "" && h.Class != req.Class:
 			s.Reason = "class"
+		case req.Tier != "" && !h.AdmitsTier(req.Tier):
+			s.Reason = "tier"
 		default:
 			s.Feasible = true
 		}
@@ -135,7 +167,8 @@ func ScoreHosts(pol Policy, req Request, hosts []HostStats) (scores []HostScore,
 	// its maximum among candidates, score = Σ wᵢ·(1 − normᵢ). A metric
 	// that is zero everywhere contributes its full weight to everyone
 	// (all equal), leaving the tiebreak to the id order.
-	var maxQ, maxU, maxP float64
+	var maxQ, maxU, maxP, maxG float64
+	goldSpread := req.Tier == string(gstate.Gold)
 	for _, s := range scores {
 		if !s.Feasible {
 			continue
@@ -143,6 +176,9 @@ func ScoreHosts(pol Policy, req Request, hosts []HostStats) (scores []HostScore,
 		maxQ = maxf(maxQ, float64(s.QueueDepth))
 		maxU = maxf(maxU, s.Util)
 		maxP = maxf(maxP, s.P99Ms)
+		if goldSpread {
+			maxG = maxf(maxG, float64(s.TierCounts[req.Tier]))
+		}
 	}
 	winner = -1
 	for i := range scores {
@@ -153,6 +189,10 @@ func ScoreHosts(pol Policy, req Request, hosts []HostStats) (scores []HostScore,
 		s.Score = pol.QueueWeight*(1-norm(float64(s.QueueDepth), maxQ)) +
 			pol.UtilWeight*(1-norm(s.Util, maxU)) +
 			pol.LatencyWeight*(1-norm(s.P99Ms, maxP))
+		if goldSpread {
+			// Spread gold: prefer hosts holding fewer gold guests.
+			s.Score += pol.TierWeight * (1 - norm(float64(s.TierCounts[req.Tier]), maxG))
+		}
 		if winner < 0 || s.Score > scores[winner].Score {
 			winner = i
 		}

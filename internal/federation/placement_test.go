@@ -127,3 +127,49 @@ func TestScoreHostsOvercommit(t *testing.T) {
 		t.Fatal("1.5 overcommit refused 6 <= 4*1.5")
 	}
 }
+
+// TestScoreHostsTierConstraint: a tiered request is only feasible on
+// hosts that publish the tier in their census; untiered requests ignore
+// tiering entirely, so pre-tiering callers score identically.
+func TestScoreHostsTierConstraint(t *testing.T) {
+	hosts := []HostStats{
+		{ID: "a", Live: true, Cores: 8}, // untiered host
+		{ID: "b", Live: true, Cores: 8, TierCounts: map[string]int{"silver": 1, "bronze": 2}},
+		{ID: "c", Live: true, Cores: 8, TierCounts: map[string]int{"gold": 0, "silver": 0, "bronze": 0}},
+	}
+	scores, winner, _ := ScoreHosts(Policy{}, Request{VCPUs: 2, Tier: "gold"}, hosts)
+	if winner != 2 || scores[winner].ID != "c" {
+		t.Fatalf("gold winner = %d (%+v), want c", winner, scores)
+	}
+	for _, i := range []int{0, 1} {
+		if scores[i].Feasible || scores[i].Reason != "tier" {
+			t.Fatalf("%s = %+v, want infeasible for tier", scores[i].ID, scores[i])
+		}
+	}
+	// Untiered request: every live host stays feasible, a untouched by
+	// its missing census.
+	scores, _, _ = ScoreHosts(Policy{}, Request{VCPUs: 2}, hosts)
+	for _, s := range scores {
+		if !s.Feasible {
+			t.Fatalf("untiered request found %s infeasible (%q)", s.ID, s.Reason)
+		}
+	}
+}
+
+// TestScoreHostsGoldSpread: between otherwise identical gold-capable
+// hosts, a gold request lands on the one holding fewer gold guests; a
+// bronze request ignores the census and falls back to the id tiebreak.
+func TestScoreHostsGoldSpread(t *testing.T) {
+	hosts := []HostStats{
+		{ID: "a", Live: true, Cores: 8, TierCounts: map[string]int{"gold": 3, "silver": 0, "bronze": 0}},
+		{ID: "b", Live: true, Cores: 8, TierCounts: map[string]int{"gold": 1, "silver": 0, "bronze": 0}},
+	}
+	_, winner, _ := ScoreHosts(Policy{}, Request{VCPUs: 2, Tier: "gold"}, hosts)
+	if winner != 1 {
+		t.Fatalf("gold winner = %d, want 1 (fewer gold guests)", winner)
+	}
+	_, winner, _ = ScoreHosts(Policy{}, Request{VCPUs: 2, Tier: "bronze"}, hosts)
+	if winner != 0 {
+		t.Fatalf("bronze winner = %d, want 0 (id tiebreak, census ignored)", winner)
+	}
+}

@@ -1,6 +1,9 @@
 package federation
 
 import (
+	"strconv"
+
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/store"
@@ -174,6 +177,7 @@ type HostAgent struct {
 	interval sim.Duration
 	beats    int64
 	stopped  bool
+	tiers    []gstate.Tier // admitted SLA tiers; nil = untiered host
 }
 
 // NewHostAgent builds an agent publishing host h as id every interval.
@@ -224,6 +228,39 @@ func (a *HostAgent) PublishStats() {
 		Util:        dev.UtilFraction,
 		P99Ms:       float64(mon.HostPathP99()) / 1e6,
 	})
+	a.publishTiers()
+}
+
+// SetTierCapability declares which SLA tiers this host admits; every
+// Publish from then on writes the /tiers census (key presence =
+// capability, value = resident guests of that tier, with undeclared
+// guests counting as bronze per internal/gstate's taxonomy). The nil
+// default keeps the host untiered, exactly as before tiering existed.
+func (a *HostAgent) SetTierCapability(tiers []gstate.Tier) { a.tiers = tiers }
+
+// publishTiers counts resident guests per tier from the host's local
+// store SLA declarations and publishes the census.
+func (a *HostAgent) publishTiers() {
+	if len(a.tiers) == 0 {
+		return
+	}
+	counts := make(map[string]int, len(a.tiers))
+	for _, t := range a.tiers {
+		counts[string(t)] = 0
+	}
+	st := a.h.Store()
+	doms, _ := st.List(store.Dom0, store.Root)
+	for _, d := range doms {
+		id, err := strconv.Atoi(d)
+		if err != nil || id == 0 {
+			continue // Dom0 is the control domain, not a placed guest
+		}
+		tier, _ := gstate.ReadSLA(st, store.DomID(id))
+		if _, ok := counts[string(tier)]; ok {
+			counts[string(tier)]++
+		}
+	}
+	PublishTierCounts(a.view, a.id, counts)
 }
 
 // --- Registry-entry schema helpers -------------------------------------------
@@ -272,6 +309,34 @@ func RecordPlacement(v View, uid, host string, vcpus int) error {
 	return v.Write(store.ClusterGuestKey(uid, keyGuestVCPUs), itoa(int64(vcpus)))
 }
 
+// PublishTierCounts writes a host's per-tier admitted-guest census
+// under /cluster/hypervisors/<id>/tiers: a key's presence declares the
+// host admits the tier (even at count 0), the value is how many such
+// guests it holds. Written strongest-tier-first for deterministic
+// store-write order.
+func PublishTierCounts(v View, id string, counts map[string]int) {
+	for _, t := range gstate.Tiers() {
+		if n, ok := counts[string(t)]; ok {
+			v.Write(store.HypervisorTierKey(id, string(t)), itoa(int64(n)))
+		}
+	}
+}
+
+// ReadTierCounts assembles a host's tier census from its registry
+// entry; nil when the host publishes no /tiers subtree (an untiered
+// host from before tiering existed).
+func ReadTierCounts(v View, id string) map[string]int {
+	names, err := v.List(store.HypervisorTiersPath(id))
+	if err != nil || len(names) == 0 {
+		return nil
+	}
+	counts := make(map[string]int, len(names))
+	for _, t := range names {
+		counts[t] = int(readInt(v, store.HypervisorTierKey(id, t), 0))
+	}
+	return counts
+}
+
 // ReadHostStats assembles one host's scoring input from its registry
 // entry. Liveness is the caller's call — the registry (or an expirer)
 // owns the heartbeat clock — so Live is left false here.
@@ -284,5 +349,6 @@ func ReadHostStats(v View, id string) HostStats {
 		QueueDepth:  int(readInt(v, store.HypervisorKey(id, keyQueueDepth), 0)),
 		Util:        readFloat(v, store.HypervisorKey(id, keyUtil), 0),
 		P99Ms:       readFloat(v, store.HypervisorKey(id, keyP99Ms), 0),
+		TierCounts:  ReadTierCounts(v, id),
 	}
 }

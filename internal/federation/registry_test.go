@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
 	"iorchestra/internal/stats"
@@ -204,5 +205,34 @@ func TestLocalViewSyncSubtree(t *testing.T) {
 	}
 	if !sawRemove || !sawValue {
 		t.Fatalf("delta pairs = %v, want /b prune + /a value", delta.Pairs)
+	}
+}
+
+// TestTierCensusPublishAndRead: a tier-capable agent publishes its
+// per-tier guest census under /tiers (counting the host store's SLA
+// declarations, undeclared guests as bronze), ReadHostStats reads it
+// back, and an untiered agent publishes no census at all.
+func TestTierCensusPublishAndRead(t *testing.T) {
+	b := newBed(t, Config{}, "ha", "hb")
+	b.agents["ha"].SetTierCapability([]gstate.Tier{gstate.Gold, gstate.Silver, gstate.Bronze})
+
+	// Two resident guests on ha: dom 1 declared gold, dom 2 undeclared.
+	hst := b.hosts["ha"].Store()
+	hst.AddDomain(1)
+	hst.AddDomain(2)
+	gstate.PublishSLA(hst, 1, gstate.Gold, gstate.SLA{})
+	b.k.RunUntil(sim.Second)
+
+	v := LocalView{St: b.cs}
+	hs := ReadHostStats(v, "ha")
+	want := map[string]int{"gold": 1, "silver": 0, "bronze": 1}
+	if !reflect.DeepEqual(hs.TierCounts, want) {
+		t.Fatalf("ha TierCounts = %v, want %v", hs.TierCounts, want)
+	}
+	if !hs.AdmitsTier("gold") || hs.AdmitsTier("platinum") {
+		t.Fatal("AdmitsTier must track census key presence")
+	}
+	if hb := ReadHostStats(v, "hb"); hb.TierCounts != nil {
+		t.Fatalf("untiered hb published a census: %v", hb.TierCounts)
 	}
 }

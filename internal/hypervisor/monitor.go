@@ -141,6 +141,23 @@ func (mo *Monitor) HostPathP99() sim.Time {
 	return mo.h.rec.LatencyPercentile(99)
 }
 
+// GuestPathStats reports the completion count and summed host-path
+// latency recorded for one guest's I/O, from the decision-trace
+// recorder's per-domain histogram (zeros when tracing is off or the
+// guest has no completions). Two snapshots give a windowed mean — the
+// G-state controller's per-guest latency verdict — without the
+// saturation a lifetime percentile would suffer under sustained load.
+func (mo *Monitor) GuestPathStats(dom store.DomID) (count uint64, sum sim.Time) {
+	if mo.h.rec == nil {
+		return 0, 0
+	}
+	h := mo.h.rec.DomainLatency(int(dom))
+	if h == nil {
+		return 0, 0
+	}
+	return h.Count(), h.Sum()
+}
+
 // ActiveVCPUs reports the summed VCPU count of resident guests — the
 // capacity quantity cluster placement budgets against (docs/CLUSTER.md).
 // Guest order does not matter for a sum, so the map iteration is safe.

@@ -1,9 +1,11 @@
 package store
 
-// This file owns the cluster half of the store key schema: the /cluster
-// namespace the federation layer (internal/federation) keeps beside the
-// per-domain /local/domain tree. docs/CLUSTER.md is the normative
-// reference for the keys below; docs/STORE_KEYS.md indexes both halves.
+// This file owns the schema constructors beyond the per-disk tree: the
+// /cluster namespace the federation layer (internal/federation) keeps
+// beside the per-domain /local/domain tree, and the per-guest /sla
+// subtree the G-state subsystem (internal/gstate) declares tiers under.
+// docs/CLUSTER.md and docs/GSTATES.md are the normative references for
+// the keys below; docs/STORE_KEYS.md indexes all of them.
 //
 // Layout:
 //
@@ -11,14 +13,21 @@ package store
 //	                                capacity and load keys published by
 //	                                its HostAgent, TTL-expired by the
 //	                                registry when the heartbeat stalls
+//	/cluster/hypervisors/<id>/tiers/<tier>
+//	                                per-tier admitted-guest count the
+//	                                host's agent publishes for tiered
+//	                                placement
 //	/cluster/guests/<uid>/...       one cluster-placed guest: the host
 //	                                holding it and its placement record
+//	/local/domain/<dom>/sla/...     one guest's declared SLA tier and
+//	                                targets plus the published G-state
 //
-// The whole namespace is rooted at a Dom0-owned node, so only the
+// The /cluster namespace is rooted at a Dom0-owned node, so only the
 // control plane writes it; guests never see cluster state directly.
-// The storekeys vet pass enforces that raw "/cluster/..." literals
-// appear only in this file — every other package must build cluster
-// paths through these constructors (docs/LINTING.md).
+// The storekeys vet pass enforces that raw "/cluster/..." (and
+// "/local/domain/...") literals appear only in this package — every
+// other package must build paths through these constructors
+// (docs/LINTING.md).
 
 // ClusterRoot is the top of the cluster-coordination namespace. Like
 // Root it is the only sanctioned spelling of the prefix outside this
@@ -48,3 +57,23 @@ func ClusterGuestPath(uid string) string { return ClusterGuestsPath() + "/" + ui
 // ClusterGuestKey returns the absolute path of one guest placement key:
 // /cluster/guests/<uid>/<key>.
 func ClusterGuestKey(uid, key string) string { return ClusterGuestPath(uid) + "/" + key }
+
+// HypervisorTiersPath returns the per-tier admitted-guest directory for
+// one host: /cluster/hypervisors/<id>/tiers. Each child is one SLA tier
+// name holding the count of admitted guests in that tier, published by
+// the host's agent for tiered placement (docs/GSTATES.md).
+func HypervisorTiersPath(id string) string { return HypervisorPath(id) + "/tiers" }
+
+// HypervisorTierKey returns the absolute path of one host's per-tier
+// admitted count: /cluster/hypervisors/<id>/tiers/<tier>.
+func HypervisorTierKey(id, tier string) string { return HypervisorTiersPath(id) + "/" + tier }
+
+// SLAPath returns the SLA subtree root for a domain,
+// /local/domain/<dom>/sla: the guest's declared tier and per-tier
+// targets plus the manager-published performance state
+// (internal/gstate, docs/GSTATES.md).
+func SLAPath(dom DomID) string { return DomainPath(dom) + "/sla" }
+
+// SLAKey returns the absolute path of one SLA key:
+// /local/domain/<dom>/sla/<key>.
+func SLAKey(dom DomID, key string) string { return SLAPath(dom) + "/" + key }

@@ -149,6 +149,32 @@ const (
 	// is the guest uid, Host the source the guest was restored on and
 	// Value the reason ("target-dead", "source-dead", "diverged").
 	KindClusterMigrateAbort Kind = "cluster.migrate.abort"
+
+	// Elastic G-state kinds (internal/gstate + the core controller,
+	// docs/GSTATES.md). Each is mirrored 1:1 by a Counters field,
+	// enforced by the iorchestra-vet tracecounter pass.
+
+	// KindGStateDemote is the controller stepping a guest one G-state
+	// deeper under sustained contention: Value is the new state
+	// ("G1".."G3"), Weight the new proportional share, Path the guest's
+	// tier.
+	KindGStateDemote Kind = "gstate.demote"
+	// KindGStatePromote is the controller stepping a guest one G-state
+	// back toward G0 on relief: Value is the new state, Weight the new
+	// share, Path the guest's tier.
+	KindGStatePromote Kind = "gstate.promote"
+	// KindGStateViolation is an SLA-violation episode opening for a
+	// guest: Path is its tier, Value the missed target ("bandwidth" or
+	// "latency"). Accrued violation-seconds live in the Meter; only
+	// onsets are traced.
+	KindGStateViolation Kind = "gstate.violation"
+	// KindGStateAdmit is admission control accepting a guest: Path is
+	// its tier, Value "immediate" or "deferred" (a queued arrival
+	// admitted on relief).
+	KindGStateAdmit Kind = "gstate.admit"
+	// KindGStateDefer is admission control parking a new bronze arrival
+	// because gold is in violation: Path is the tier, Value the reason.
+	KindGStateDefer Kind = "gstate.defer"
 )
 
 // Record is one decision-trace event. The zero value of every optional
@@ -521,6 +547,11 @@ var summaryKinds = []struct {
 	{KindClusterMigrateSync, "migration sync rounds"},
 	{KindClusterMigrateDone, "migrations committed"},
 	{KindClusterMigrateAbort, "migrations aborted"},
+	{KindGStateDemote, "gstate demotions"},
+	{KindGStatePromote, "gstate promotions"},
+	{KindGStateViolation, "sla violations"},
+	{KindGStateAdmit, "gstate admissions"},
+	{KindGStateDefer, "gstate deferrals"},
 }
 
 // Format renders the summary as the per-domain decision report the

@@ -27,6 +27,7 @@ import (
 	"iorchestra/internal/core"
 	"iorchestra/internal/device"
 	"iorchestra/internal/fault"
+	"iorchestra/internal/gstate"
 	"iorchestra/internal/guest"
 	"iorchestra/internal/hypervisor"
 	"iorchestra/internal/sim"
@@ -332,6 +333,22 @@ func (p *Platform) NewVM(vcpus, memGB int, disks ...guest.DiskConfig) *hyperviso
 		VCPUs:    vcpus,
 		MemBytes: int64(memGB) << 30,
 	}, disks...)
+	p.Enable(rt)
+	return rt
+}
+
+// NewTieredVM is NewVM with an SLA tier declared between guest creation
+// and controller attach — the G-state controller's admission decision
+// reads the SLA synchronously at attach, so a tier published after
+// NewVM returns would be invisible and the guest would admit under the
+// bronze default (docs/GSTATES.md). A zero sla takes the tier's
+// defaults.
+func (p *Platform) NewTieredVM(tier gstate.Tier, sla gstate.SLA, vcpus, memGB int, disks ...guest.DiskConfig) *hypervisor.GuestRuntime {
+	rt := p.Host.CreateGuest(guest.Config{
+		VCPUs:    vcpus,
+		MemBytes: int64(memGB) << 30,
+	}, disks...)
+	gstate.PublishSLA(p.Host.Store(), rt.G.ID(), tier, sla)
 	p.Enable(rt)
 	return rt
 }
